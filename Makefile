@@ -1,0 +1,13 @@
+.PHONY: build test bench vet
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+bench:
+	./scripts/bench.sh

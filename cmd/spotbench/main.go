@@ -1,0 +1,146 @@
+// Command spotbench measures the streaming throughput of the SPOT
+// detector across dimensionalities and shard counts and writes the
+// results as JSON (BENCH_core.json), seeding the repo's performance
+// trajectory. Unlike `go test -bench` it drives the detector directly,
+// so the output is a machine-readable artifact rather than text to
+// parse.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"spot/internal/bench"
+	"spot/internal/stream"
+)
+
+type result struct {
+	Name          string  `json:"name"`
+	Dims          int     `json:"dims"`
+	Shards        int     `json:"shards"`
+	MaxDim        int     `json:"max_subspace_dim"`
+	Phi           int     `json:"phi"`
+	Subspaces     int     `json:"subspaces"`
+	Batch         int     `json:"batch"`
+	Points        int     `json:"points"`
+	Seconds       float64 `json:"seconds"`
+	PointsPerSec  float64 `json:"points_per_sec"`
+	OutlierRate   float64 `json:"flagged_rate"`
+	ProjectedCell int     `json:"projected_cells"`
+}
+
+type report struct {
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchmarks []result           `json:"benchmarks"`
+	Ratios     map[string]float64 `json:"shard8_over_shard1"`
+}
+
+func run(d, shards, batch int, dur time.Duration) (result, error) {
+	cfg := stream.DefaultConfig(d)
+	cfg.MaxSubspaceDim = bench.MaxDimFor(d)
+	cfg.Shards = shards
+	det, err := stream.New(cfg)
+	if err != nil {
+		return result{}, err
+	}
+	defer det.Close()
+
+	gen := bench.NewGenerator(bench.DefaultGenConfig(d))
+	const pool = 4
+	flats := make([][]float64, pool)
+	labels := make([]bool, batch)
+	out := make([]bool, batch)
+	for i := range flats {
+		flats[i] = make([]float64, batch*d)
+		gen.Fill(flats[i], labels, batch)
+	}
+	for i := range flats { // populate cell tables before timing
+		det.ProcessBatch(flats[i], out)
+	}
+
+	points, flagged := 0, 0
+	start := time.Now()
+	for i := 0; time.Since(start) < dur; i++ {
+		det.ProcessBatch(flats[i%pool], out)
+		points += batch
+		for _, f := range out {
+			if f {
+				flagged++
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return result{
+		Name:          fmt.Sprintf("d=%d/shards=%d", d, shards),
+		Dims:          d,
+		Shards:        shards,
+		MaxDim:        cfg.MaxSubspaceDim,
+		Phi:           cfg.Phi,
+		Subspaces:     det.Template().Count(),
+		Batch:         batch,
+		Points:        points,
+		Seconds:       elapsed,
+		PointsPerSec:  float64(points) / elapsed,
+		OutlierRate:   float64(flagged) / float64(points),
+		ProjectedCell: det.ProjectedCells(),
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output JSON path")
+	dur := flag.Duration("duration", 2*time.Second, "measurement duration per configuration")
+	batch := flag.Int("batch", 512, "batch size in points")
+	flag.Parse()
+	if *batch < 1 {
+		fmt.Fprintf(os.Stderr, "spotbench: -batch must be ≥ 1, got %d\n", *batch)
+		os.Exit(2)
+	}
+	if *dur <= 0 {
+		fmt.Fprintf(os.Stderr, "spotbench: -duration must be positive, got %v\n", *dur)
+		os.Exit(2)
+	}
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Ratios:     map[string]float64{},
+	}
+	perDim := map[int]map[int]float64{}
+	for _, d := range []int{20, 50, 100} {
+		perDim[d] = map[int]float64{}
+		for _, shards := range []int{1, 4, 8} {
+			r, err := run(d, shards, *batch, *dur)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-18s %12.0f points/sec  (%d subspaces, %d cells)\n",
+				r.Name, r.PointsPerSec, r.Subspaces, r.ProjectedCell)
+			rep.Benchmarks = append(rep.Benchmarks, r)
+			perDim[d][shards] = r.PointsPerSec
+		}
+		if perDim[d][1] > 0 {
+			rep.Ratios[fmt.Sprintf("d=%d", d)] = perDim[d][8] / perDim[d][1]
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

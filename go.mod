@@ -1,0 +1,3 @@
+module spot
+
+go 1.22

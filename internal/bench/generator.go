@@ -1,0 +1,147 @@
+// Package bench provides the synthetic high-dimensional stream
+// generator used by the detector tests and the throughput benchmark
+// harness: Gaussian clusters over the unit box with planted projected
+// outliers — points that look perfectly normal in most dimensions and
+// deviate only in a small random subset, the workload SPOT exists to
+// catch.
+package bench
+
+import "math/rand"
+
+// MaxDimFor is the benchmark policy for SST arity by dimensionality:
+// the full 3-D template at d ≤ 20, 2-D above (3-D enumeration at d=100
+// is 160k+ subspaces — a different experiment). Shared by the go-test
+// benchmarks and cmd/spotbench so BENCH_core.json stays comparable
+// with `go test -bench` output.
+func MaxDimFor(d int) int {
+	if d <= 20 {
+		return 3
+	}
+	return 2
+}
+
+// GenConfig parameterizes a synthetic stream.
+type GenConfig struct {
+	// Dims is the dimensionality of generated points.
+	Dims int
+	// Clusters is the number of Gaussian clusters.
+	Clusters int
+	// Sigma is the per-dimension standard deviation of each cluster.
+	Sigma float64
+	// OutlierRate is the fraction of generated points that are
+	// planted projected outliers.
+	OutlierRate float64
+	// OutlierDims is how many dimensions of an outlier are displaced
+	// away from every cluster (its "outlying subspace" arity).
+	OutlierDims int
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// DefaultGenConfig returns a reasonable stream for a d-dimensional
+// space: a handful of tight clusters and 1% planted projected outliers
+// displaced in up to 2 dimensions.
+func DefaultGenConfig(d int) GenConfig {
+	return GenConfig{
+		Dims:        d,
+		Clusters:    3,
+		Sigma:       0.02,
+		OutlierRate: 0.01,
+		OutlierDims: 2,
+		Seed:        1,
+	}
+}
+
+// Generator produces a reproducible synthetic stream. Points live in
+// the unit box [0,1)^d. Not safe for concurrent use.
+type Generator struct {
+	cfg     GenConfig
+	rng     *rand.Rand
+	centers [][]float64
+}
+
+// NewGenerator builds a generator, placing cluster centers uniformly in
+// the interior of the unit box so cluster mass stays inside it.
+func NewGenerator(cfg GenConfig) *Generator {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{cfg: cfg, rng: rng}
+	for c := 0; c < cfg.Clusters; c++ {
+		center := make([]float64, cfg.Dims)
+		for i := range center {
+			center[i] = 0.2 + 0.6*rng.Float64()
+		}
+		g.centers = append(g.centers, center)
+	}
+	return g
+}
+
+// Next fills buf (length ≥ Dims) with the next point and reports
+// whether it is a planted projected outlier. It does not allocate.
+func (g *Generator) Next(buf []float64) bool {
+	cfg := &g.cfg
+	center := g.centers[g.rng.Intn(len(g.centers))]
+	for i := 0; i < cfg.Dims; i++ {
+		buf[i] = clamp01(center[i] + cfg.Sigma*g.rng.NormFloat64())
+	}
+	if g.rng.Float64() >= cfg.OutlierRate {
+		return false
+	}
+	// Displace a few dimensions to coordinates far from every cluster
+	// center: anomalous only when those dimensions are examined
+	// together with nothing to hide behind — a projected outlier.
+	for k := 0; k < cfg.OutlierDims; k++ {
+		dim := g.rng.Intn(cfg.Dims)
+		buf[dim] = g.farCoordinate(dim)
+	}
+	return true
+}
+
+// farCoordinate draws a coordinate in [0,1) at distance ≥ 0.12 from
+// every cluster center in the given dimension.
+func (g *Generator) farCoordinate(dim int) float64 {
+	for {
+		x := g.rng.Float64()
+		ok := true
+		for _, c := range g.centers {
+			d := x - c[dim]
+			if d < 0 {
+				d = -d
+			}
+			if d < 0.12 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return x
+		}
+	}
+}
+
+// Fill generates n points into the flat row-major buffer (length ≥
+// n*Dims) and marks planted outliers in labels (length ≥ n), returning
+// the number of planted outliers.
+func (g *Generator) Fill(flat []float64, labels []bool, n int) int {
+	planted := 0
+	for i := 0; i < n; i++ {
+		labels[i] = g.Next(flat[i*g.cfg.Dims : (i+1)*g.cfg.Dims])
+		if labels[i] {
+			planted++
+		}
+	}
+	return planted
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return math1ulpBelow
+	}
+	return x
+}
+
+// math1ulpBelow is the largest float64 strictly below 1, keeping
+// clamped values inside the half-open unit box.
+const math1ulpBelow = 1 - 1.0/(1<<53)

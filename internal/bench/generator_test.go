@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratorReproducible(t *testing.T) {
+	cfg := DefaultGenConfig(8)
+	g1, g2 := NewGenerator(cfg), NewGenerator(cfg)
+	b1, b2 := make([]float64, 8), make([]float64, 8)
+	for i := 0; i < 500; i++ {
+		o1, o2 := g1.Next(b1), g2.Next(b2)
+		if o1 != o2 {
+			t.Fatalf("point %d: label diverged", i)
+		}
+		for j := range b1 {
+			if b1[j] != b2[j] {
+				t.Fatalf("point %d dim %d: %v vs %v", i, j, b1[j], b2[j])
+			}
+		}
+	}
+}
+
+func TestGeneratorPointsInUnitBox(t *testing.T) {
+	g := NewGenerator(DefaultGenConfig(12))
+	buf := make([]float64, 12)
+	for i := 0; i < 2000; i++ {
+		g.Next(buf)
+		for j, x := range buf {
+			if x < 0 || x >= 1 || math.IsNaN(x) {
+				t.Fatalf("point %d dim %d out of [0,1): %v", i, j, x)
+			}
+		}
+	}
+}
+
+func TestGeneratorOutlierRateAndDisplacement(t *testing.T) {
+	cfg := DefaultGenConfig(10)
+	cfg.OutlierRate = 0.05
+	g := NewGenerator(cfg)
+	buf := make([]float64, 10)
+	n, outliers := 5000, 0
+	for i := 0; i < n; i++ {
+		if g.Next(buf) {
+			outliers++
+			// Every planted outlier must have at least one coordinate
+			// far from all cluster centers in that dimension.
+			far := false
+			for dim, x := range buf {
+				minDist := math.Inf(1)
+				for _, c := range g.centers {
+					if d := math.Abs(x - c[dim]); d < minDist {
+						minDist = d
+					}
+				}
+				if minDist >= 0.12 {
+					far = true
+				}
+			}
+			if !far {
+				t.Fatal("planted outlier has no displaced dimension")
+			}
+		}
+	}
+	rate := float64(outliers) / float64(n)
+	if rate < 0.03 || rate > 0.07 {
+		t.Errorf("outlier rate = %.3f, want ≈ 0.05", rate)
+	}
+}
+
+func TestFillCountsPlanted(t *testing.T) {
+	cfg := DefaultGenConfig(6)
+	cfg.OutlierRate = 0.1
+	g := NewGenerator(cfg)
+	const n = 1000
+	flat := make([]float64, n*6)
+	labels := make([]bool, n)
+	planted := g.Fill(flat, labels, n)
+	count := 0
+	for _, l := range labels {
+		if l {
+			count++
+		}
+	}
+	if planted != count {
+		t.Errorf("Fill returned %d, labels say %d", planted, count)
+	}
+	if planted == 0 {
+		t.Error("no outliers planted at rate 0.1")
+	}
+}

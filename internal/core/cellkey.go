@@ -1,0 +1,136 @@
+package core
+
+import "fmt"
+
+// Cell-key layout. A subspace cell is addressed by one uint64:
+//
+//	bits 63..40  subspace ID        (up to ~16.7M subspaces)
+//	bits 39..0   interval indices   (one byte per subspace dimension,
+//	                                 dimension j of the subspace in bits
+//	                                 [8j, 8j+8))
+//
+// Keeping the whole address in a single machine word means a cell
+// lookup is one map probe and key construction is a handful of shifts —
+// no per-dimension allocation, hashing of slices, or string building on
+// the ingestion hot path.
+const (
+	// MaxSubspaceDims is the largest subspace arity a key can address.
+	MaxSubspaceDims = 5
+	// MaxPhi is the largest supported number of intervals per
+	// dimension; interval indices 0..MaxPhi-1 must fit in one byte.
+	MaxPhi = 255
+	// MaxSubspaceID is the largest subspace ID a key can carry.
+	MaxSubspaceID = 1<<24 - 1
+
+	// CoordBits and SubspaceShift expose the key layout so hot loops
+	// (internal/stream) can assemble keys with inline shifts instead
+	// of a function call per dimension.
+	CoordBits     = 8
+	SubspaceShift = MaxSubspaceDims * CoordBits
+
+	coordMask = 0xFF
+)
+
+// EncodeCell packs a subspace ID and per-dimension interval indices
+// into a single cell key. coords must have length ≤ MaxSubspaceDims and
+// id must be ≤ MaxSubspaceID; both are the caller's responsibility
+// (validated once at template construction, not per point).
+func EncodeCell(id uint32, coords []uint8) uint64 {
+	key := uint64(id) << SubspaceShift
+	for j, c := range coords {
+		key |= uint64(c) << (uint(j) * CoordBits)
+	}
+	return key
+}
+
+// DecodeCell unpacks a cell key produced by EncodeCell. n is the arity
+// of the subspace (the key alone cannot distinguish a trailing interval
+// index of 0 from an absent dimension). coords must have room for n
+// entries; the decoded indices are written into it.
+func DecodeCell(key uint64, n int, coords []uint8) (id uint32) {
+	id = uint32(key >> SubspaceShift)
+	for j := 0; j < n; j++ {
+		coords[j] = uint8((key >> (uint(j) * CoordBits)) & coordMask)
+	}
+	return id
+}
+
+// CoordAt extracts the interval index of subspace dimension j from a
+// cell key without unpacking the rest.
+func CoordAt(key uint64, j int) uint8 {
+	return uint8((key >> (uint(j) * CoordBits)) & coordMask)
+}
+
+// Grid maps raw coordinate values to equi-width interval indices. Each
+// dimension i of the data space is split into phi intervals of equal
+// width spanning [min[i], max[i]); values outside the range clamp to
+// the first/last interval so a drifting stream cannot index out of the
+// grid.
+type Grid struct {
+	phi  int
+	phiF float64 // float64(phi), the hot-path clamp bound
+	min  []float64
+	inv  []float64 // phi / (max-min), precomputed per dimension
+	last uint8     // phi-1, the clamp bound
+}
+
+// NewGrid builds a grid with phi intervals per dimension over the box
+// [min[i], max[i]) per dimension i.
+func NewGrid(phi int, min, max []float64) (*Grid, error) {
+	if phi < 1 || phi > MaxPhi {
+		return nil, fmt.Errorf("core: phi must be in [1,%d], got %d", MaxPhi, phi)
+	}
+	if len(min) != len(max) {
+		return nil, fmt.Errorf("core: min/max length mismatch (%d vs %d)", len(min), len(max))
+	}
+	g := &Grid{
+		phi:  phi,
+		phiF: float64(phi),
+		min:  make([]float64, len(min)),
+		inv:  make([]float64, len(min)),
+		last: uint8(phi - 1),
+	}
+	copy(g.min, min)
+	for i := range min {
+		w := max[i] - min[i]
+		if w <= 0 {
+			return nil, fmt.Errorf("core: dimension %d has non-positive width %g", i, w)
+		}
+		g.inv[i] = float64(phi) / w
+	}
+	return g, nil
+}
+
+// Phi returns the number of intervals per dimension.
+func (g *Grid) Phi() int { return g.phi }
+
+// Dims returns the dimensionality of the grid's data space.
+func (g *Grid) Dims() int { return len(g.min) }
+
+// Interval maps value x in dimension dim to its interval index,
+// clamping out-of-range values to the boundary intervals.
+func (g *Grid) Interval(dim int, x float64) uint8 {
+	v := (x - g.min[dim]) * g.inv[dim]
+	// Branchy clamp rather than min/max float tricks: NaN also lands
+	// in interval 0 instead of producing an undefined index.
+	if !(v > 0) {
+		return 0
+	}
+	// Compare in float space: converting first would let values beyond
+	// int64 range (huge x, +Inf) overflow int(v) to negative and dodge
+	// the clamp.
+	if v >= g.phiF {
+		return g.last
+	}
+	return uint8(int(v))
+}
+
+// Intervals maps a full d-dimensional point to its per-dimension
+// interval indices, writing them into out (len(out) must be ≥ the grid
+// dimensionality). Computing all indices once per point lets every
+// subspace's cell key be assembled with shifts only.
+func (g *Grid) Intervals(point []float64, out []uint8) {
+	for i := range g.min {
+		out[i] = g.Interval(i, point[i])
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	coords := make([]uint8, MaxSubspaceDims)
+	got := make([]uint8, MaxSubspaceDims)
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + rng.Intn(MaxSubspaceDims)
+		id := uint32(rng.Intn(MaxSubspaceID + 1))
+		for j := 0; j < n; j++ {
+			coords[j] = uint8(rng.Intn(MaxPhi))
+		}
+		key := EncodeCell(id, coords[:n])
+		gotID := DecodeCell(key, n, got[:n])
+		if gotID != id {
+			t.Fatalf("trial %d: id round-trip %d -> %d", trial, id, gotID)
+		}
+		for j := 0; j < n; j++ {
+			if got[j] != coords[j] {
+				t.Fatalf("trial %d: coord %d round-trip %d -> %d", trial, j, coords[j], got[j])
+			}
+			if CoordAt(key, j) != coords[j] {
+				t.Fatalf("trial %d: CoordAt(%d) = %d, want %d", trial, j, CoordAt(key, j), coords[j])
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeExtremes(t *testing.T) {
+	// Largest representable cell: max subspace ID, max interval index
+	// (phi=255 -> indices 0..254) in every slot.
+	coords := []uint8{254, 254, 254, 254, 254}
+	key := EncodeCell(MaxSubspaceID, coords)
+	got := make([]uint8, MaxSubspaceDims)
+	if id := DecodeCell(key, MaxSubspaceDims, got); id != MaxSubspaceID {
+		t.Fatalf("id = %d, want %d", id, MaxSubspaceID)
+	}
+	for j, c := range got {
+		if c != 254 {
+			t.Fatalf("coord %d = %d, want 254", j, c)
+		}
+	}
+	// Zero cell of subspace 0 is key 0.
+	if key := EncodeCell(0, []uint8{0}); key != 0 {
+		t.Fatalf("zero cell key = %d, want 0", key)
+	}
+}
+
+func TestGridIntervalEdges(t *testing.T) {
+	g, err := NewGrid(4, []float64{0}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want uint8
+	}{
+		{0, 0},
+		{0.2499, 0},
+		{0.25, 1}, // exact interval boundary belongs to the upper interval
+		{0.5, 2},
+		{0.75, 3},
+		{0.999, 3},
+		{1.0, 3},  // max clamps into the last interval
+		{5.0, 3},  // out of range clamps high
+		{-3.0, 0}, // out of range clamps low
+		{1e30, 3}, // beyond int64 range must still clamp high, not overflow
+		{math.Inf(1), 3},
+		{math.Inf(-1), 0},
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := g.Interval(0, c.x); got != c.want {
+			t.Errorf("Interval(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGridPhiExtremes(t *testing.T) {
+	// phi=1: every value lands in the single interval.
+	g1, err := NewGrid(1, []float64{-10, 0}, []float64{10, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-10, -3, 0, 5, 9.999, 10, 100} {
+		if got := g1.Interval(0, x); got != 0 {
+			t.Errorf("phi=1: Interval(%v) = %d, want 0", x, got)
+		}
+	}
+	// phi=255 (MaxPhi): indices span 0..254 and stay in one byte.
+	g255, err := NewGrid(255, []float64{0}, []float64{255})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g255.Interval(0, 254.5); got != 254 {
+		t.Errorf("phi=255: Interval(254.5) = %d, want 254", got)
+	}
+	if got := g255.Interval(0, 1000); got != 254 {
+		t.Errorf("phi=255: clamp high = %d, want 254", got)
+	}
+	if got := g255.Interval(0, 37.2); got != 37 {
+		t.Errorf("phi=255: Interval(37.2) = %d, want 37", got)
+	}
+	// phi out of range is rejected.
+	if _, err := NewGrid(0, []float64{0}, []float64{1}); err == nil {
+		t.Error("phi=0 accepted, want error")
+	}
+	if _, err := NewGrid(256, []float64{0}, []float64{1}); err == nil {
+		t.Error("phi=256 accepted, want error")
+	}
+}
+
+func TestGridIntervals(t *testing.T) {
+	g, err := NewGrid(8, []float64{0, -1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint8, 2)
+	g.Intervals([]float64{0.5, 0}, out)
+	if out[0] != 4 || out[1] != 4 {
+		t.Fatalf("Intervals = %v, want [4 4]", out)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(8, []float64{0, 0}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewGrid(8, []float64{1}, []float64{1}); err == nil {
+		t.Error("zero-width dimension accepted")
+	}
+}

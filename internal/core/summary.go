@@ -1,0 +1,157 @@
+package core
+
+import "math"
+
+// Decay returns the exponential fading weight 2^(-lambda*dt) applied to
+// a summary that was last touched dt ticks ago. lambda is the fading
+// factor λ of the paper; larger λ forgets the past faster. The
+// effective window size (total decayed weight of an infinite uniform
+// stream) is 1/(1-2^-λ).
+func Decay(lambda float64, dt uint64) float64 {
+	if dt == 0 {
+		return 1
+	}
+	return math.Exp2(-lambda * float64(dt))
+}
+
+// decayTableSize covers the overwhelmingly common small gaps between
+// touches of hot summaries; larger gaps fall back to math.Exp2.
+const decayTableSize = 64
+
+// DecayTable memoizes Decay(lambda, dt) for small dt. Subspace totals
+// are touched every tick (dt==1) and hot cells every few ticks, so the
+// table turns the hot path's transcendental call into an array load.
+// It is immutable after construction and safe to share across shards.
+type DecayTable struct {
+	lambda float64
+	pow    [decayTableSize]float64
+}
+
+// NewDecayTable precomputes fading weights for the fading factor lambda.
+func NewDecayTable(lambda float64) *DecayTable {
+	t := &DecayTable{lambda: lambda}
+	for i := range t.pow {
+		t.pow[i] = math.Exp2(-lambda * float64(i))
+	}
+	return t
+}
+
+// Lambda returns the fading factor the table was built for.
+func (t *DecayTable) Lambda() float64 { return t.lambda }
+
+// At returns the fading weight for a gap of dt ticks.
+func (t *DecayTable) At(dt uint64) float64 {
+	if dt < decayTableSize {
+		return t.pow[dt]
+	}
+	return math.Exp2(-t.lambda * float64(dt))
+}
+
+// PCS is the Projected Cell Summary: the per-cell state SPOT keeps for
+// every populated cell of every subspace in the SST. All fields decay
+// with the fading factor; decay is applied lazily when the cell is next
+// touched (update-on-touch), so no background pass ever rewrites the
+// table. The magnitude moments S and Q accumulate the projected
+// magnitude m of member points (the sum of the point's coordinates over
+// the subspace's dimensions), from which the cell's mean and standard
+// deviation — the inputs to IRSD — are derived.
+type PCS struct {
+	Dc   float64 // decayed density (weighted point count)
+	S    float64 // decayed sum of member magnitudes
+	Q    float64 // decayed sum of squared member magnitudes
+	Last uint64  // tick of the last touch
+}
+
+// Touch folds one point with magnitude m observed at tick into the
+// summary, first bringing the decayed fields current. It performs no
+// allocation.
+func (p *PCS) Touch(t *DecayTable, tick uint64, m float64) {
+	if p.Last != tick {
+		d := t.At(tick - p.Last)
+		p.Dc *= d
+		p.S *= d
+		p.Q *= d
+		p.Last = tick
+	}
+	p.Dc++
+	p.S += m
+	p.Q += m * m
+}
+
+// DcAt returns the decayed density as seen at tick without mutating the
+// summary.
+func (p *PCS) DcAt(t *DecayTable, tick uint64) float64 {
+	return p.Dc * t.At(tick-p.Last)
+}
+
+// Mean returns the decayed mean magnitude of the cell's members.
+func (p *PCS) Mean() float64 {
+	if p.Dc == 0 {
+		return 0
+	}
+	return p.S / p.Dc
+}
+
+// Sigma returns the decayed standard deviation of member magnitudes.
+func (p *PCS) Sigma() float64 {
+	if p.Dc == 0 {
+		return 0
+	}
+	mu := p.S / p.Dc
+	v := p.Q/p.Dc - mu*mu
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// BCS is the Base Cell Summary kept for populated cells of the full
+// d-dimensional space. Unlike the scalar PCS it stores per-dimension
+// decayed linear sums (LS) and squared sums (SS), so the centroid and
+// spread of the cell under any projection can be reconstructed without
+// revisiting data — the raw material the self-evolving subspace group
+// of later PRs will mine for candidate subspaces.
+type BCS struct {
+	Dc   float64
+	LS   []float64
+	SS   []float64
+	Last uint64
+}
+
+// NewBCS returns an empty base cell summary for a d-dimensional space.
+func NewBCS(d int) *BCS {
+	return &BCS{LS: make([]float64, d), SS: make([]float64, d)}
+}
+
+// Touch folds point (length d) observed at tick into the summary,
+// applying pending decay first. For an existing cell it performs no
+// allocation.
+func (b *BCS) Touch(t *DecayTable, tick uint64, point []float64) {
+	if b.Last != tick {
+		d := t.At(tick - b.Last)
+		b.Dc *= d
+		for i := range b.LS {
+			b.LS[i] *= d
+			b.SS[i] *= d
+		}
+		b.Last = tick
+	}
+	b.Dc++
+	for i, x := range point {
+		b.LS[i] += x
+		b.SS[i] += x * x
+	}
+}
+
+// Centroid writes the decayed centroid of the cell into out.
+func (b *BCS) Centroid(out []float64) {
+	if b.Dc == 0 {
+		for i := range b.LS {
+			out[i] = 0
+		}
+		return
+	}
+	for i := range b.LS {
+		out[i] = b.LS[i] / b.Dc
+	}
+}

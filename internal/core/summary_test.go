@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPCSDecayClosedForm drives a PCS through irregular touch times and
+// checks that the lazily-decayed density matches the closed form
+// Σ 2^(-λ(T-tᵢ)) over all touch ticks tᵢ.
+func TestPCSDecayClosedForm(t *testing.T) {
+	const lambda = 0.01
+	table := NewDecayTable(lambda)
+	ticks := []uint64{1, 2, 5, 9, 40, 41, 100, 700}
+	mags := []float64{1.5, -0.5, 2, 0, 3, 1, -2, 0.25}
+
+	var p PCS
+	p.Last = ticks[0]
+	for i, tk := range ticks {
+		p.Touch(table, tk, mags[i])
+	}
+	const T = 1000
+	wantDc, wantS, wantQ := 0.0, 0.0, 0.0
+	for i, tk := range ticks {
+		w := math.Exp2(-lambda * float64(T-tk))
+		wantDc += w
+		wantS += w * mags[i]
+		wantQ += w * mags[i] * mags[i]
+	}
+	if got := p.DcAt(table, T); math.Abs(got-wantDc) > 1e-9 {
+		t.Errorf("DcAt(T) = %.12f, want %.12f", got, wantDc)
+	}
+	// Bring the summary current at T via a zero-weight read path:
+	// decay factors compose, so S and Q at T must also match.
+	d := table.At(T - p.Last)
+	if got := p.S * d; math.Abs(got-wantS) > 1e-9 {
+		t.Errorf("S at T = %.12f, want %.12f", got, wantS)
+	}
+	if got := p.Q * d; math.Abs(got-wantQ) > 1e-9 {
+		t.Errorf("Q at T = %.12f, want %.12f", got, wantQ)
+	}
+}
+
+func TestDecayTableMatchesExp2(t *testing.T) {
+	const lambda = 0.003
+	table := NewDecayTable(lambda)
+	for _, dt := range []uint64{0, 1, 2, 63, 64, 65, 1000, 1 << 20} {
+		want := math.Exp2(-lambda * float64(dt))
+		if got := table.At(dt); math.Abs(got-want) > 1e-15 {
+			t.Errorf("At(%d) = %v, want %v", dt, got, want)
+		}
+	}
+	if Decay(lambda, 0) != 1 {
+		t.Error("Decay(·,0) != 1")
+	}
+	if table.Lambda() != lambda {
+		t.Errorf("Lambda() = %v", table.Lambda())
+	}
+}
+
+func TestPCSMoments(t *testing.T) {
+	table := NewDecayTable(0.01)
+	var p PCS
+	p.Last = 5
+	// All touches at the same tick: no decay, plain sample moments.
+	for _, m := range []float64{1, 2, 3} {
+		p.Touch(table, 5, m)
+	}
+	if got := p.Mean(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	want := math.Sqrt(2.0 / 3.0) // population std of {1,2,3}
+	if got := p.Sigma(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Sigma = %v, want %v", got, want)
+	}
+	var empty PCS
+	if empty.Mean() != 0 || empty.Sigma() != 0 {
+		t.Error("empty PCS moments not zero")
+	}
+}
+
+// TestBCSDecayClosedForm checks the per-dimension linear sums decay to
+// the closed-form weighted sum, and the centroid is their ratio.
+func TestBCSDecayClosedForm(t *testing.T) {
+	const lambda = 0.02
+	table := NewDecayTable(lambda)
+	points := [][]float64{{1, 10}, {2, 20}, {3, 30}}
+	ticks := []uint64{3, 50, 51}
+
+	b := NewBCS(2)
+	b.Last = ticks[0]
+	for i, pt := range points {
+		b.Touch(table, ticks[i], pt)
+	}
+	T := ticks[len(ticks)-1]
+	wantDc := 0.0
+	wantLS := []float64{0, 0}
+	for i, tk := range ticks {
+		w := math.Exp2(-lambda * float64(T-tk))
+		wantDc += w
+		for j := range wantLS {
+			wantLS[j] += w * points[i][j]
+		}
+	}
+	if math.Abs(b.Dc-wantDc) > 1e-9 {
+		t.Errorf("Dc = %.12f, want %.12f", b.Dc, wantDc)
+	}
+	cent := make([]float64, 2)
+	b.Centroid(cent)
+	for j := range cent {
+		if want := wantLS[j] / wantDc; math.Abs(cent[j]-want) > 1e-9 {
+			t.Errorf("Centroid[%d] = %.12f, want %.12f", j, cent[j], want)
+		}
+	}
+	var zero BCS
+	zero.LS = make([]float64, 2)
+	zero.Centroid(cent)
+	if cent[0] != 0 || cent[1] != 0 {
+		t.Error("empty BCS centroid not zero")
+	}
+}

@@ -1,0 +1,137 @@
+// Package sst implements the Sparse Subspace Template of SPOT: the set
+// of subspaces in which every streaming point is checked for projected
+// outlier-ness. This PR ships the fixed SST group — all subspaces of
+// dimension 1..maxDim of the data space — with the enumeration
+// precomputed once into flat index slices so the ingestion hot path
+// walks subspaces with pointer-free slice arithmetic. The template also
+// exposes a pluggable Evolver hook through which later PRs will add the
+// paper's self-evolving groups (unsupervised top-sparse subspaces and
+// supervised example-driven subspaces).
+package sst
+
+import (
+	"fmt"
+
+	"spot/internal/core"
+)
+
+// Template is an immutable enumeration of subspaces. Subspace i is
+// identified by ID uint32(i); its member dimensions live in the flat
+// dims slice at [i*stride, i*stride+Size(i)). Immutability after
+// construction is what lets every detector shard walk the template
+// concurrently without synchronization.
+type Template struct {
+	spaceDims int
+	maxDim    int
+	stride    int
+	dims      []uint16 // flat, stride entries per subspace
+	sizes     []uint8  // arity per subspace
+}
+
+// NewFixed enumerates the fixed SST group: every subspace of dimension
+// 1..maxDim over a d-dimensional space, in order of increasing arity
+// and lexicographic within an arity. The enumeration is done once; the
+// hot path only reads the resulting flat slices.
+func NewFixed(d, maxDim int) (*Template, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("sst: need at least one dimension, got %d", d)
+	}
+	if d > 65535 {
+		return nil, fmt.Errorf("sst: %d dimensions exceed the uint16 index range", d)
+	}
+	if maxDim < 1 || maxDim > core.MaxSubspaceDims {
+		return nil, fmt.Errorf("sst: maxDim must be in [1,%d], got %d", core.MaxSubspaceDims, maxDim)
+	}
+	if maxDim > d {
+		maxDim = d
+	}
+	n := 0
+	for k := 1; k <= maxDim; k++ {
+		c, err := binomial(d, k)
+		if err != nil {
+			return nil, err
+		}
+		n += c
+	}
+	if n > core.MaxSubspaceID+1 {
+		return nil, fmt.Errorf("sst: %d subspaces exceed the %d addressable by a cell key", n, core.MaxSubspaceID+1)
+	}
+	t := &Template{
+		spaceDims: d,
+		maxDim:    maxDim,
+		stride:    maxDim,
+		dims:      make([]uint16, 0, n*maxDim),
+		sizes:     make([]uint8, 0, n),
+	}
+	comb := make([]uint16, maxDim)
+	for k := 1; k <= maxDim; k++ {
+		t.enumerate(comb[:k], 0, 0)
+	}
+	return t, nil
+}
+
+// enumerate fills comb with every sorted k-combination of dimensions
+// starting from dimension 'from' at position 'pos', appending each
+// completed combination to the template.
+func (t *Template) enumerate(comb []uint16, pos, from int) {
+	if pos == len(comb) {
+		t.sizes = append(t.sizes, uint8(len(comb)))
+		start := len(t.dims)
+		t.dims = append(t.dims, comb...)
+		for len(t.dims) < start+t.stride {
+			t.dims = append(t.dims, 0) // pad to stride
+		}
+		return
+	}
+	for d := from; d <= t.spaceDims-(len(comb)-pos); d++ {
+		comb[pos] = uint16(d)
+		t.enumerate(comb, pos+1, d+1)
+	}
+}
+
+// Count returns the number of subspaces in the template.
+func (t *Template) Count() int { return len(t.sizes) }
+
+// SpaceDims returns the dimensionality of the underlying data space.
+func (t *Template) SpaceDims() int { return t.spaceDims }
+
+// MaxDim returns the largest subspace arity in the template.
+func (t *Template) MaxDim() int { return t.maxDim }
+
+// Size returns the arity of subspace i.
+func (t *Template) Size(i int) int { return int(t.sizes[i]) }
+
+// Dims returns the member dimensions of subspace i as a subslice of the
+// template's flat storage — no allocation, must not be mutated.
+func (t *Template) Dims(i int) []uint16 {
+	off := i * t.stride
+	return t.dims[off : off+int(t.sizes[i])]
+}
+
+// binomial computes C(n,k), rejecting overflow-scale results long
+// before they matter (the cell-key ID budget is checked separately).
+func binomial(n, k int) (int, error) {
+	if k > n {
+		return 0, nil
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+		if r < 0 || r > 1<<31 {
+			return 0, fmt.Errorf("sst: C(%d,%d) overflows the subspace budget", n, k)
+		}
+	}
+	return r, nil
+}
+
+// Evolver is the hook through which self-evolving SST groups will plug
+// in. An implementation inspects the current summaries and proposes
+// subspaces to add to (or retire from) the template between stream
+// epochs; the fixed group ships with no evolver.
+type Evolver interface {
+	// Evolve is called by the detector between batches with the
+	// current stream tick. Implementations return proposed new
+	// subspaces as dimension sets; returning nil leaves the template
+	// unchanged. This PR only defines the contract.
+	Evolve(tick uint64) [][]uint16
+}

@@ -1,0 +1,81 @@
+package sst
+
+import (
+	"testing"
+
+	"spot/internal/core"
+)
+
+func TestFixedEnumerationCounts(t *testing.T) {
+	cases := []struct {
+		d, maxDim, want int
+	}{
+		{6, 3, 6 + 15 + 20},
+		{4, 2, 4 + 6},
+		{10, 1, 10},
+		{3, 3, 3 + 3 + 1},
+		{2, 3, 2 + 1}, // maxDim capped at d
+		{50, 2, 50 + 1225},
+	}
+	for _, c := range cases {
+		tmpl, err := NewFixed(c.d, c.maxDim)
+		if err != nil {
+			t.Fatalf("NewFixed(%d,%d): %v", c.d, c.maxDim, err)
+		}
+		if tmpl.Count() != c.want {
+			t.Errorf("NewFixed(%d,%d).Count() = %d, want %d", c.d, c.maxDim, tmpl.Count(), c.want)
+		}
+	}
+}
+
+func TestFixedEnumerationShape(t *testing.T) {
+	tmpl, err := NewFixed(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[3]uint16]bool{}
+	prevSize := 0
+	for i := 0; i < tmpl.Count(); i++ {
+		size := tmpl.Size(i)
+		dims := tmpl.Dims(i)
+		if len(dims) != size {
+			t.Fatalf("subspace %d: len(Dims)=%d, Size=%d", i, len(dims), size)
+		}
+		if size < prevSize {
+			t.Fatalf("subspace %d: arity %d after %d — not ordered by arity", i, size, prevSize)
+		}
+		prevSize = size
+		var key [3]uint16
+		for j, dm := range dims {
+			if int(dm) >= tmpl.SpaceDims() {
+				t.Fatalf("subspace %d: dimension %d out of range", i, dm)
+			}
+			if j > 0 && dims[j] <= dims[j-1] {
+				t.Fatalf("subspace %d: dims %v not strictly increasing", i, dims)
+			}
+			key[j] = dm + 1 // +1 so absent slots (0) never collide
+		}
+		if seen[key] {
+			t.Fatalf("subspace %d: duplicate dimension set %v", i, dims)
+		}
+		seen[key] = true
+	}
+	if tmpl.MaxDim() != 3 {
+		t.Errorf("MaxDim = %d, want 3", tmpl.MaxDim())
+	}
+}
+
+func TestFixedValidation(t *testing.T) {
+	if _, err := NewFixed(0, 2); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewFixed(5, 0); err == nil {
+		t.Error("maxDim=0 accepted")
+	}
+	if _, err := NewFixed(5, core.MaxSubspaceDims+1); err == nil {
+		t.Error("maxDim beyond key capacity accepted")
+	}
+	if _, err := NewFixed(70000, 1); err == nil {
+		t.Error("d beyond uint16 index range accepted")
+	}
+}

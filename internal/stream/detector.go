@@ -1,0 +1,306 @@
+// Package stream implements SPOT's streaming detection engine: a
+// sharded Detector that ingests high-dimensional points, maintains the
+// decayed cell summaries of every Sparse Subspace Template subspace,
+// and emits a projected-outlier verdict per point.
+//
+// Concurrency model: the SST's subspaces are partitioned round-robin
+// across N shards. Each shard exclusively owns the cell table, totals
+// and representative set of its subspaces, so the hot path takes no
+// locks — a shard's state is only ever touched by the goroutine
+// processing it. Process walks the shards inline on the caller's
+// goroutine (deterministic, allocation-free); ProcessBatch hands the
+// whole batch to one worker goroutine per shard and synchronizes only
+// at batch boundaries via channels. Verdicts are identical regardless
+// of shard count.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"spot/internal/core"
+	"spot/internal/sst"
+)
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Dims is the dimensionality d of the data space.
+	Dims int
+	// Phi is the number of equi-width intervals per dimension.
+	Phi int
+	// MaxSubspaceDim bounds the arity of SST subspaces (paper default
+	// 3; capped at the space dimensionality).
+	MaxSubspaceDim int
+	// Shards is the number of independent workers the SST is
+	// partitioned across. 1 disables parallelism.
+	Shards int
+	// Lambda is the exponential fading factor λ; a point observed Δt
+	// ticks ago weighs 2^(-λΔt).
+	Lambda float64
+	// Min and Max bound the data space per dimension; nil defaults to
+	// the unit box [0,1). Out-of-range values clamp to edge cells.
+	Min, Max []float64
+	// RDThreshold flags a cell whose Relative Density — decayed cell
+	// density over the expected density under uniformity — falls
+	// below it. The primary sparsity test for low-arity subspaces.
+	// Note the floor: a just-touched cell has Dc ≥ 1 and the decayed
+	// stream weight asymptotes at 1/(1-2^-λ), so RD ≥ φ^k·(1-2^-λ);
+	// with the defaults (φ=8, λ=0.002) that is ~0.089 for arity-2 and
+	// ~0.71 for arity-3 — above the default threshold, meaning RD
+	// alone cannot flag outliers in multi-dimensional subspaces there.
+	// Detection in those subspaces comes from IkRD/IRSD, which are
+	// arity-independent; leave them enabled unless arity-1 RD is all
+	// you need.
+	RDThreshold float64
+	// IRSDThreshold flags a cell whose Inverse Relative Standard
+	// Deviation falls below it. IRSD = 1/(1+z) with z the deviation
+	// of the cell's mean member magnitude from the subspace mean, in
+	// subspace standard deviations: low IRSD means the cell sits far
+	// out in the subspace's magnitude distribution. ≤0 disables.
+	IRSDThreshold float64
+	// IkRDThreshold flags a cell whose Inverse k-Relative Distance
+	// falls below it. IkRD = 1 - dist/maxDist where dist is the mean
+	// grid (L1) distance from the cell to the subspace's k densest
+	// (representative) cells: low IkRD means the cell is far from
+	// every dense region of the subspace. ≤0 disables.
+	IkRDThreshold float64
+	// K is the number of representative cells per subspace for IkRD.
+	K int
+	// Warmup is the minimum decayed subspace weight before a subspace
+	// may contribute verdicts; it suppresses false alarms while the
+	// summaries are still forming. The decayed weight of an infinite
+	// stream asymptotes at 1/(1-2^-λ), so Warmup must stay below that
+	// bound or verdicts would be suppressed forever; New rejects such
+	// configurations.
+	Warmup float64
+}
+
+// DefaultConfig returns a starting configuration for a d-dimensional
+// stream over the unit box.
+func DefaultConfig(d int) Config {
+	return Config{
+		Dims:           d,
+		Phi:            8,
+		MaxSubspaceDim: 3,
+		Shards:         1,
+		Lambda:         0.002,
+		RDThreshold:    0.05,
+		IRSDThreshold:  0.12,
+		IkRDThreshold:  0.15,
+		K:              3,
+		Warmup:         200,
+	}
+}
+
+// job is the unit of work handed to shard workers: a flat row-major
+// batch starting at stream tick t0+1.
+type job struct {
+	flat []float64
+	n    int
+	t0   uint64
+}
+
+// Detector is SPOT's streaming engine. It is not safe for concurrent
+// use by multiple callers; one goroutine drives Process/ProcessBatch
+// and the detector fans work out internally.
+type Detector struct {
+	cfg    Config
+	grid   *core.Grid
+	tmpl   *sst.Template
+	decay  *core.DecayTable
+	shards []*shard
+	tick   uint64
+
+	// Base Cell Summaries over the full d-dimensional space, keyed by
+	// the interval-index vector itself. Map lookups with a string(…)
+	// conversion of the scratch buffer are allocation-free (the
+	// compiler elides the copy for index expressions); only inserting
+	// a new cell materializes the key.
+	bcs      map[string]*core.BCS
+	bscratch []uint8
+
+	jobs      []chan job
+	done      chan struct{}
+	workersUp bool
+	closed    bool
+}
+
+// New builds a Detector from cfg.
+func New(cfg Config) (*Detector, error) {
+	if cfg.Dims < 1 {
+		return nil, fmt.Errorf("stream: Dims must be positive, got %d", cfg.Dims)
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("stream: Shards must be positive, got %d", cfg.Shards)
+	}
+	if cfg.Lambda <= 0 {
+		return nil, fmt.Errorf("stream: Lambda must be positive, got %g", cfg.Lambda)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("stream: K must be positive, got %d", cfg.K)
+	}
+	if cap := 1 / (1 - math.Exp2(-cfg.Lambda)); cfg.Warmup >= cap {
+		return nil, fmt.Errorf("stream: Warmup %g is unreachable: decayed stream weight asymptotes at %.1f for Lambda=%g",
+			cfg.Warmup, cap, cfg.Lambda)
+	}
+	min, max := cfg.Min, cfg.Max
+	if min == nil && max == nil {
+		min = make([]float64, cfg.Dims)
+		max = make([]float64, cfg.Dims)
+		for i := range max {
+			max[i] = 1
+		}
+	}
+	grid, err := core.NewGrid(cfg.Phi, min, max)
+	if err != nil {
+		return nil, err
+	}
+	if grid.Dims() != cfg.Dims {
+		return nil, fmt.Errorf("stream: bounds cover %d dims, config says %d", grid.Dims(), cfg.Dims)
+	}
+	tmpl, err := sst.NewFixed(cfg.Dims, cfg.MaxSubspaceDim)
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{
+		cfg:      cfg,
+		grid:     grid,
+		tmpl:     tmpl,
+		decay:    core.NewDecayTable(cfg.Lambda),
+		bcs:      make(map[string]*core.BCS),
+		bscratch: make([]uint8, cfg.Dims),
+	}
+	// Round-robin partition of subspace IDs. The template enumerates
+	// by increasing arity, so round-robin also balances the arity mix
+	// (and therefore per-point work) across shards.
+	d.shards = make([]*shard, cfg.Shards)
+	for i := range d.shards {
+		d.shards[i] = newShard(d, i)
+	}
+	for id := 0; id < tmpl.Count(); id++ {
+		d.shards[id%cfg.Shards].addSubspace(uint32(id))
+	}
+	return d, nil
+}
+
+// Template exposes the detector's SST (read-only).
+func (d *Detector) Template() *sst.Template { return d.tmpl }
+
+// Tick returns the number of points ingested so far.
+func (d *Detector) Tick() uint64 { return d.tick }
+
+// Process ingests one d-dimensional point and reports whether any SST
+// subspace places it in an outlying cell. For points that land in
+// already-populated cells it performs zero heap allocations.
+func (d *Detector) Process(point []float64) bool {
+	d.tick++
+	t := d.tick
+	d.touchBase(point, t)
+	out := false
+	for _, sh := range d.shards {
+		if sh.processPoint(point, t) {
+			out = true
+		}
+	}
+	return out
+}
+
+// ProcessBatch ingests a flat row-major batch (len(flat) = n*Dims) and
+// writes one verdict per point into out (len(out) ≥ n), returning n.
+// The batch is processed by all shard workers in parallel; verdicts are
+// identical to feeding the points to Process one by one.
+func (d *Detector) ProcessBatch(flat []float64, out []bool) int {
+	if len(flat)%d.cfg.Dims != 0 {
+		panic("stream: batch length not a multiple of Dims")
+	}
+	n := len(flat) / d.cfg.Dims
+	if n == 0 {
+		return 0
+	}
+	if len(out) < n {
+		panic("stream: verdict buffer shorter than batch")
+	}
+	t0 := d.tick
+	d.tick += uint64(n)
+	if !d.workersUp {
+		d.startWorkers()
+	}
+	for _, ch := range d.jobs {
+		ch <- job{flat: flat, n: n, t0: t0}
+	}
+	// The dispatcher goroutine owns the base-cell table; updating it
+	// here overlaps with the shard workers instead of serializing
+	// after them.
+	for i := 0; i < n; i++ {
+		d.touchBase(flat[i*d.cfg.Dims:(i+1)*d.cfg.Dims], t0+uint64(i)+1)
+	}
+	for range d.shards {
+		<-d.done
+	}
+	for i := 0; i < n; i++ {
+		out[i] = false
+	}
+	for _, sh := range d.shards {
+		for i := 0; i < n; i++ {
+			if sh.verdict[i>>6]&(1<<(uint(i)&63)) != 0 {
+				out[i] = true
+			}
+		}
+	}
+	return n
+}
+
+func (d *Detector) startWorkers() {
+	d.jobs = make([]chan job, len(d.shards))
+	d.done = make(chan struct{}, len(d.shards))
+	for i, sh := range d.shards {
+		ch := make(chan job, 1)
+		d.jobs[i] = ch
+		go func(sh *shard) {
+			for jb := range ch {
+				sh.processBatch(jb)
+				d.done <- struct{}{}
+			}
+		}(sh)
+	}
+	d.workersUp = true
+}
+
+// Close stops the shard workers. The detector must not be used after
+// Close; it is safe to call on a detector whose workers never started.
+func (d *Detector) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	if d.workersUp {
+		for _, ch := range d.jobs {
+			close(ch)
+		}
+	}
+}
+
+// touchBase folds the point into its Base Cell Summary.
+func (d *Detector) touchBase(point []float64, tick uint64) {
+	d.grid.Intervals(point, d.bscratch)
+	b, ok := d.bcs[string(d.bscratch)]
+	if !ok {
+		b = core.NewBCS(d.cfg.Dims)
+		b.Last = tick
+		d.bcs[string(d.bscratch)] = b
+	}
+	b.Touch(d.decay, tick, point)
+}
+
+// BaseCells returns the number of populated base cells.
+func (d *Detector) BaseCells() int { return len(d.bcs) }
+
+// ProjectedCells returns the number of populated SST cells across all
+// shards.
+func (d *Detector) ProjectedCells() int {
+	n := 0
+	for _, sh := range d.shards {
+		n += len(sh.cells)
+	}
+	return n
+}

@@ -1,0 +1,230 @@
+package stream
+
+import (
+	"math"
+
+	"spot/internal/core"
+)
+
+// repEmpty marks an unused representative slot; no real cell key uses
+// subspace ID 2^24-1 together with all-ones coordinates.
+const repEmpty = ^uint64(0)
+
+// repDecayStride is how many ticks of fading may accumulate on the
+// representative densities before they are brought current. Kept below
+// the decay table size so the refresh stays a table lookup.
+const repDecayStride = 32
+
+// subspaceState is the per-subspace state a shard owns exclusively: the
+// decayed subspace totals (density plus magnitude moments, reusing PCS),
+// the greedily-maintained representative (densest-cell) set for IkRD,
+// and constants precomputed from the subspace's arity.
+type subspaceState struct {
+	total core.PCS // subspace-wide decayed totals
+	// Representatives: the k densest cells seen, maintained greedily
+	// in O(k) per touch, never a table scan. repDc fades with the
+	// stream so a once-dense cell whose cluster drifts away is
+	// eventually evicted instead of lingering as a ghost
+	// representative. All slots decay by the same factor, so one
+	// shared repsLast tick covers the set, and because decay factors
+	// compose the refresh is batched every repDecayStride ticks —
+	// densities are stale by at most one stride, which biases no
+	// comparison meaningfully but cuts the hot-path multiplies 32×.
+	repKey   []uint64
+	repDc    []float64
+	repsLast uint64
+
+	size       uint8   // subspace arity
+	phiPow     float64 // φ^arity, the cell count under uniformity
+	invMaxDist float64 // 1/((φ-1)*arity); 0 when φ==1
+}
+
+// shard owns an exclusive partition of the SST: the cell table, totals
+// and representatives of its subspaces. Only one goroutine ever touches
+// a shard's state, so the hot path is lock-free.
+type shard struct {
+	det  *Detector
+	id   int
+	subs []uint32 // subspace IDs owned by this shard
+
+	states []subspaceState
+	cells  map[uint64]uint32 // cell key -> index into pcs
+	pcs    []core.PCS
+
+	scratch []uint8  // per-dimension interval indices of the current point
+	verdict []uint64 // per-batch verdict bitset (batch mode only)
+}
+
+func newShard(d *Detector, id int) *shard {
+	return &shard{
+		det:     d,
+		id:      id,
+		cells:   make(map[uint64]uint32),
+		scratch: make([]uint8, d.cfg.Dims),
+	}
+}
+
+func (s *shard) addSubspace(id uint32) {
+	s.subs = append(s.subs, id)
+	phi := s.det.grid.Phi()
+	size := s.det.tmpl.Size(int(id))
+	st := subspaceState{
+		repKey: make([]uint64, s.det.cfg.K),
+		repDc:  make([]float64, s.det.cfg.K),
+		size:   uint8(size),
+		phiPow: math.Pow(float64(phi), float64(size)),
+	}
+	for i := range st.repKey {
+		st.repKey[i] = repEmpty
+	}
+	if phi > 1 {
+		st.invMaxDist = 1 / float64((phi-1)*size)
+	}
+	s.states = append(s.states, st)
+}
+
+// processPoint folds one point observed at tick into every subspace the
+// shard owns and reports whether any of them finds it outlying. Zero
+// heap allocations when the point's cells already exist.
+func (s *shard) processPoint(point []float64, tick uint64) bool {
+	s.det.grid.Intervals(point, s.scratch)
+	decay := s.det.decay
+	cfg := &s.det.cfg
+	out := false
+	for li, sid := range s.subs {
+		st := &s.states[li]
+		dims := s.det.tmpl.Dims(int(sid))
+		// Assemble the packed cell key and the projected magnitude in
+		// one pass over the subspace's dimensions.
+		key := uint64(sid) << core.SubspaceShift
+		m := 0.0
+		for j, dim := range dims {
+			key |= uint64(s.scratch[dim]) << (uint(j) * core.CoordBits)
+			m += point[dim]
+		}
+		st.total.Touch(decay, tick, m)
+		idx, ok := s.cells[key]
+		if !ok {
+			idx = uint32(len(s.pcs))
+			s.pcs = append(s.pcs, core.PCS{Last: tick})
+			s.cells[key] = idx
+		}
+		p := &s.pcs[idx]
+		p.Touch(decay, tick, m)
+		s.maintainReps(st, key, p.Dc, tick)
+		if st.total.Dc >= cfg.Warmup && s.outlying(st, key, p) {
+			out = true
+		}
+	}
+	return out
+}
+
+// processBatch runs a whole batch through the shard, recording verdicts
+// in the shard-local bitset (merged by the dispatcher).
+func (s *shard) processBatch(jb job) {
+	words := (jb.n + 63) >> 6
+	if cap(s.verdict) < words {
+		s.verdict = make([]uint64, words)
+	} else {
+		s.verdict = s.verdict[:words]
+		for i := range s.verdict {
+			s.verdict[i] = 0
+		}
+	}
+	d := s.det.cfg.Dims
+	for i := 0; i < jb.n; i++ {
+		if s.processPoint(jb.flat[i*d:(i+1)*d], jb.t0+uint64(i)+1) {
+			s.verdict[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+// maintainReps keeps the k densest cells of the subspace as IkRD
+// representatives: an O(k) update per touch, never a table scan. Each
+// slot's density is faded to the current tick before comparison so
+// representatives of vanished clusters decay and get evicted.
+func (s *shard) maintainReps(st *subspaceState, key uint64, dc float64, tick uint64) {
+	if dt := tick - st.repsLast; dt >= repDecayStride {
+		f := s.det.decay.At(dt)
+		for i := range st.repDc {
+			st.repDc[i] *= f
+		}
+		st.repsLast = tick
+	}
+	minI := 0
+	for i := range st.repKey {
+		if st.repKey[i] == key {
+			st.repDc[i] = dc
+			return
+		}
+		if st.repDc[i] < st.repDc[minI] {
+			minI = i
+		}
+	}
+	if dc > st.repDc[minI] {
+		st.repKey[minI] = key
+		st.repDc[minI] = dc
+	}
+}
+
+// outlying evaluates the three PCS-derived measures for the cell the
+// current point landed in. The point is an outlier in this subspace if
+// any enabled measure falls below its threshold. Cells at or above the
+// subspace's average density can never be outlying, so the costlier
+// IRSD/IkRD evaluations are gated behind RD < 1.
+func (s *shard) outlying(st *subspaceState, key uint64, p *core.PCS) bool {
+	cfg := &s.det.cfg
+	// Relative Density: cell density over the expected density if the
+	// subspace's decayed weight were spread uniformly over its φ^k
+	// cells. Effective for low arities; see Config.RDThreshold for
+	// the arity-dependent floor that makes IkRD/IRSD carry detection
+	// in higher-arity subspaces.
+	rd := p.Dc * st.phiPow / st.total.Dc
+	if rd < cfg.RDThreshold {
+		return true
+	}
+	if rd >= 1 {
+		return false
+	}
+	if cfg.IRSDThreshold > 0 {
+		// Inverse Relative Standard Deviation: how far the cell's
+		// mean member magnitude sits from the subspace mean, in
+		// subspace standard deviations, mapped to (0,1] by 1/(1+z).
+		sigma := st.total.Sigma()
+		if sigma > 0 {
+			z := math.Abs(p.Mean()-st.total.Mean()) / sigma
+			if 1/(1+z) < cfg.IRSDThreshold {
+				return true
+			}
+		}
+	}
+	if cfg.IkRDThreshold > 0 && st.invMaxDist > 0 {
+		// Inverse k-Relative Distance: mean grid (L1) distance from
+		// the cell to the subspace's k densest cells, normalized by
+		// the subspace's diameter and inverted so that far-from-
+		// everything cells score low.
+		sum, cnt := 0.0, 0
+		for i, rk := range st.repKey {
+			if st.repDc[i] <= 0 || rk == key {
+				continue
+			}
+			dist := 0
+			for j := 0; j < int(st.size); j++ {
+				dj := int(core.CoordAt(key, j)) - int(core.CoordAt(rk, j))
+				if dj < 0 {
+					dj = -dj
+				}
+				dist += dj
+			}
+			sum += float64(dist)
+			cnt++
+		}
+		if cnt > 0 {
+			ikrd := 1 - (sum/float64(cnt))*st.invMaxDist
+			if ikrd < cfg.IkRDThreshold {
+				return true
+			}
+		}
+	}
+	return false
+}

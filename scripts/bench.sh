@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Runs the detector throughput benchmarks and refreshes BENCH_core.json,
+# the machine-readable perf baseline tracked in the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go test -bench BenchmarkDetector -benchtime=1s -run '^$' ./internal/stream/
+go run ./cmd/spotbench -out BENCH_core.json "$@"
