@@ -1,4 +1,4 @@
-.PHONY: build test bench vet
+.PHONY: build test bench vet lint
 
 build:
 	go build ./...
@@ -8,6 +8,11 @@ test:
 
 vet:
 	go vet ./...
+
+# lint = vet + the repo's godoc discipline: every exported symbol in
+# internal/ and cmd/ must carry a doc comment (see cmd/doccheck).
+lint: vet
+	go run ./cmd/doccheck ./internal ./cmd
 
 bench:
 	./scripts/bench.sh

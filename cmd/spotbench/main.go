@@ -1,9 +1,10 @@
 // Command spotbench measures the streaming throughput of the SPOT
-// detector across dimensionalities and shard counts and writes the
-// results as JSON (BENCH_core.json), seeding the repo's performance
-// trajectory. Unlike `go test -bench` it drives the detector directly,
+// detector across dimensionalities and shard counts, plus the epoch
+// engine's memory-bounding and SST-evolution behavior, and writes the
+// results as JSON (BENCH_core.json), the repo's tracked performance
+// baseline. Unlike `go test -bench` it drives the detector directly,
 // so the output is a machine-readable artifact rather than text to
-// parse.
+// parse. Each report records the git commit it was produced from.
 package main
 
 import (
@@ -11,13 +12,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"spot/internal/bench"
+	"spot/internal/sst"
 	"spot/internal/stream"
 )
 
+// result is one throughput measurement at a (dims, shards)
+// configuration.
 type result struct {
 	Name          string  `json:"name"`
 	Dims          int     `json:"dims"`
@@ -31,21 +37,66 @@ type result struct {
 	PointsPerSec  float64 `json:"points_per_sec"`
 	OutlierRate   float64 `json:"flagged_rate"`
 	ProjectedCell int     `json:"projected_cells"`
+	BaseCells     int     `json:"base_cells"`
 }
 
+// driftResult reports the bounded-memory run: a jump-drifting stream
+// where only epoch eviction keeps the summary tables from growing with
+// every cell ever touched.
+type driftResult struct {
+	Dims             int     `json:"dims"`
+	Points           int     `json:"points"`
+	DriftPeriod      int     `json:"drift_period"`
+	EpochTicks       uint64  `json:"epoch_ticks"`
+	EvictEpsilon     float64 `json:"evict_epsilon"`
+	EntriesMid       int     `json:"summary_entries_mid"`
+	EntriesEnd       int     `json:"summary_entries_end"`
+	GrowthRatio      float64 `json:"end_over_mid"`
+	UnboundedEntries int     `json:"summary_entries_no_eviction"`
+	EvictedProjected uint64  `json:"evicted_projected"`
+	EvictedBase      uint64  `json:"evicted_base"`
+	Sweeps           uint64  `json:"sweeps"`
+}
+
+// evolutionResult reports the self-evolving-SST run: projected
+// outliers planted outside the fixed group, detectable only after the
+// evolver promotes their subspace.
+type evolutionResult struct {
+	Dims          int     `json:"dims"`
+	Points        int     `json:"points"`
+	Promoted      uint64  `json:"promoted"`
+	Demoted       uint64  `json:"demoted"`
+	EvolvedActive int     `json:"evolved_active"`
+	Planted       int     `json:"planted_outliers"`
+	Caught        int     `json:"caught_outliers"`
+	Recall        float64 `json:"recall_post_promotion"`
+}
+
+// report is the full JSON artifact.
 type report struct {
 	Generated  string             `json:"generated"`
+	GitSHA     string             `json:"git_sha"`
 	GoVersion  string             `json:"go_version"`
 	NumCPU     int                `json:"num_cpu"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Benchmarks []result           `json:"benchmarks"`
 	Ratios     map[string]float64 `json:"shard8_over_shard1"`
+	Drift      *driftResult       `json:"drift_memory"`
+	Evolution  *evolutionResult   `json:"sst_evolution"`
 }
 
+// run measures throughput for one (dims, shards) configuration.
 func run(d, shards, batch int, dur time.Duration) (result, error) {
 	cfg := stream.DefaultConfig(d)
 	cfg.MaxSubspaceDim = bench.MaxDimFor(d)
 	cfg.Shards = shards
+	// The timed loop recycles a small batch pool, so every point recurs
+	// with a period ~3× the decay window and every cell looks
+	// perpetually fresh — a degenerate workload the populated-RD test
+	// would flag wholesale, drowning the flagged-rate signal. Disable
+	// it here (its hot-path cost is one compare); the drift and
+	// evolution runs below use real streams and keep it.
+	cfg.RDPopulatedThreshold = 0
 	det, err := stream.New(cfg)
 	if err != nil {
 		return result{}, err
@@ -90,13 +141,170 @@ func run(d, shards, batch int, dur time.Duration) (result, error) {
 		PointsPerSec:  float64(points) / elapsed,
 		OutlierRate:   float64(flagged) / float64(points),
 		ProjectedCell: det.ProjectedCells(),
+		BaseCells:     det.BaseCells(),
 	}, nil
+}
+
+// runDrift measures the memory-bounding behavior on a jump-drifting
+// stream, with and without epoch sweeps.
+func runDrift() (*driftResult, error) {
+	const (
+		d      = 20
+		points = 24000
+		drift  = 1000
+	)
+	mk := func(epoch uint64) stream.Config {
+		cfg := stream.DefaultConfig(d)
+		cfg.MaxSubspaceDim = 2
+		cfg.Shards = 2
+		cfg.Lambda = 0.01
+		cfg.Warmup = 50
+		cfg.EpochTicks = epoch
+		cfg.EvictEpsilon = 1e-4
+		if epoch == 0 {
+			cfg.RDPopulatedThreshold = 0
+		}
+		return cfg
+	}
+	gcfg := bench.DefaultGenConfig(d)
+	gcfg.DriftPeriod = drift
+
+	feed := func(cfg stream.Config) (mid int, s stream.Stats, err error) {
+		det, err := stream.New(cfg)
+		if err != nil {
+			return 0, stream.Stats{}, err
+		}
+		defer det.Close()
+		gen := bench.NewGenerator(gcfg)
+		buf := make([]float64, d)
+		for i := 0; i < points; i++ {
+			gen.Next(buf)
+			det.Process(buf)
+			if i+1 == points/2 {
+				mid = det.Stats().SummaryEntries
+			}
+		}
+		return mid, det.Stats(), nil
+	}
+
+	cfg := mk(500)
+	mid, s, err := feed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfgNo := mk(0)
+	_, sNo, err := feed(cfgNo)
+	if err != nil {
+		return nil, err
+	}
+	return &driftResult{
+		Dims:             d,
+		Points:           points,
+		DriftPeriod:      drift,
+		EpochTicks:       cfg.EpochTicks,
+		EvictEpsilon:     cfg.EvictEpsilon,
+		EntriesMid:       mid,
+		EntriesEnd:       s.SummaryEntries,
+		GrowthRatio:      float64(s.SummaryEntries) / float64(mid),
+		UnboundedEntries: sNo.SummaryEntries,
+		EvictedProjected: s.EvictedProjected,
+		EvictedBase:      s.EvictedBase,
+		Sweeps:           s.Sweeps,
+	}, nil
+}
+
+// runEvolution measures the self-evolving group end to end: mix
+// outliers invisible to the arity-1 fixed group until promotion.
+func runEvolution() (*evolutionResult, error) {
+	const (
+		d      = 6
+		points = 3000
+	)
+	ev, err := sst.NewTopSparse(sst.TopSparseConfig{
+		Arity: 2, TopS: 2, Explore: 64, SparseRatio: 0.1, MinScore: 0.05, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := stream.DefaultConfig(d)
+	cfg.MaxSubspaceDim = 1
+	cfg.Shards = 2
+	cfg.Lambda = 0.02
+	cfg.Warmup = 30
+	cfg.EpochTicks = 400
+	cfg.EvictEpsilon = 1e-4
+	cfg.RDPopulatedThreshold = 0.2
+	cfg.Evolver = ev
+	det, err := stream.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer det.Close()
+
+	gcfg := bench.GenConfig{
+		Dims: d,
+		Centers: [][]float64{
+			{0.19, 0.19, 0.19, 0.19, 0.19, 0.19},
+			{0.81, 0.81, 0.81, 0.81, 0.81, 0.81},
+		},
+		Sigma:       0.005,
+		OutlierRate: 0.02,
+		Mode:        bench.OutlierMix,
+		MixDim:      4,
+		Seed:        11,
+	}
+	gen := bench.NewGenerator(gcfg)
+	buf := make([]float64, d)
+	planted, caught := 0, 0
+	for i := 0; i < points; i++ {
+		isOut := gen.Next(buf)
+		flag := det.Process(buf)
+		if i < 2*int(cfg.EpochTicks)+100 {
+			continue // pre-promotion + warmup window
+		}
+		if isOut {
+			planted++
+			if flag {
+				caught++
+			}
+		}
+	}
+	s := det.Stats()
+	recall := 0.0
+	if planted > 0 {
+		recall = float64(caught) / float64(planted)
+	}
+	return &evolutionResult{
+		Dims:          d,
+		Points:        points,
+		Promoted:      s.Promoted,
+		Demoted:       s.Demoted,
+		EvolvedActive: s.EvolvedActive,
+		Planted:       planted,
+		Caught:        caught,
+		Recall:        recall,
+	}, nil
+}
+
+// gitSHA resolves the current commit, preferring the flag value; falls
+// back to asking git, then to "unknown" so the artifact never lies by
+// omission.
+func gitSHA(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
 	out := flag.String("out", "BENCH_core.json", "output JSON path")
 	dur := flag.Duration("duration", 2*time.Second, "measurement duration per configuration")
 	batch := flag.Int("batch", 512, "batch size in points")
+	sha := flag.String("gitsha", "", "git commit to record (default: ask git)")
 	flag.Parse()
 	if *batch < 1 {
 		fmt.Fprintf(os.Stderr, "spotbench: -batch must be ≥ 1, got %d\n", *batch)
@@ -109,10 +317,15 @@ func main() {
 
 	rep := report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GitSHA:     gitSHA(*sha),
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Ratios:     map[string]float64{},
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
+		os.Exit(1)
 	}
 	perDim := map[int]map[int]float64{}
 	for _, d := range []int{20, 50, 100} {
@@ -120,8 +333,7 @@ func main() {
 		for _, shards := range []int{1, 4, 8} {
 			r, err := run(d, shards, *batch, *dur)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
-				os.Exit(1)
+				fail(err)
 			}
 			fmt.Printf("%-18s %12.0f points/sec  (%d subspaces, %d cells)\n",
 				r.Name, r.PointsPerSec, r.Subspaces, r.ProjectedCell)
@@ -132,15 +344,28 @@ func main() {
 			rep.Ratios[fmt.Sprintf("d=%d", d)] = perDim[d][8] / perDim[d][1]
 		}
 	}
+	dr, err := runDrift()
+	if err != nil {
+		fail(err)
+	}
+	rep.Drift = dr
+	fmt.Printf("drift d=%d: entries mid=%d end=%d (×%.2f), %d without eviction\n",
+		dr.Dims, dr.EntriesMid, dr.EntriesEnd, dr.GrowthRatio, dr.UnboundedEntries)
+	er, err := runEvolution()
+	if err != nil {
+		fail(err)
+	}
+	rep.Evolution = er
+	fmt.Printf("evolution d=%d: promoted=%d demoted=%d recall=%.3f (%d/%d)\n",
+		er.Dims, er.Promoted, er.Demoted, er.Recall, er.Caught, er.Planted)
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
 }

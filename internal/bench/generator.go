@@ -1,9 +1,15 @@
 // Package bench provides the synthetic high-dimensional stream
 // generator used by the detector tests and the throughput benchmark
 // harness: Gaussian clusters over the unit box with planted projected
-// outliers — points that look perfectly normal in most dimensions and
-// deviate only in a small random subset, the workload SPOT exists to
-// catch.
+// outliers — points that look normal in the full space but are
+// abnormally sparse in some low-dimensional projection, the workload
+// SPOT exists to catch. Beyond the stationary default, the generator
+// supports two stress modes for the epoch engine: jump drift (cluster
+// centers relocate periodically, so summaries of abandoned regions must
+// be evicted for memory to stay bounded) and correlated "mix" outliers
+// (each per-dimension coordinate is individually dense, only a specific
+// multi-dimensional combination is anomalous — invisible to the fixed
+// SST group until evolution promotes the right subspace).
 package bench
 
 import "math/rand"
@@ -20,20 +26,55 @@ func MaxDimFor(d int) int {
 	return 2
 }
 
+// OutlierMode selects how planted outliers deviate from the clusters.
+type OutlierMode int
+
+const (
+	// OutlierDisplace (the default) moves OutlierDims randomly chosen
+	// dimensions to coordinates far from every cluster center: the
+	// outlier is sparse even in the 1-D projections of those
+	// dimensions.
+	OutlierDisplace OutlierMode = iota
+	// OutlierMix borrows dimension MixDim from a different cluster
+	// than the rest of the point: every single coordinate lands in a
+	// dense interval of its own dimension, but any subspace combining
+	// MixDim with another dimension projects the point into an empty
+	// cell. Such outliers are invisible to 1-D subspaces and exist to
+	// exercise SST evolution. Requires at least two clusters.
+	OutlierMix
+)
+
 // GenConfig parameterizes a synthetic stream.
 type GenConfig struct {
 	// Dims is the dimensionality of generated points.
 	Dims int
-	// Clusters is the number of Gaussian clusters.
+	// Clusters is the number of Gaussian clusters. Ignored when
+	// Centers is set.
 	Clusters int
+	// Centers optionally pins the cluster centers instead of placing
+	// them randomly; each must have length Dims. Tests use it to align
+	// clusters with grid cells for deterministic assertions.
+	Centers [][]float64
 	// Sigma is the per-dimension standard deviation of each cluster.
 	Sigma float64
 	// OutlierRate is the fraction of generated points that are
 	// planted projected outliers.
 	OutlierRate float64
-	// OutlierDims is how many dimensions of an outlier are displaced
-	// away from every cluster (its "outlying subspace" arity).
+	// Mode selects the outlier construction; see OutlierMode.
+	Mode OutlierMode
+	// OutlierDims is how many dimensions of an OutlierDisplace outlier
+	// are displaced away from every cluster (its "outlying subspace"
+	// arity).
 	OutlierDims int
+	// MixDim is the dimension an OutlierMix outlier borrows from a
+	// second cluster.
+	MixDim int
+	// DriftPeriod, when positive, relocates every cluster center to a
+	// fresh random position after each DriftPeriod generated points —
+	// jump drift. The summaries of abandoned regions are never touched
+	// again, which is exactly the workload that needs epoch eviction.
+	// Explicit Centers are also re-randomized on drift.
+	DriftPeriod int
 	// Seed makes the stream reproducible.
 	Seed int64
 }
@@ -58,33 +99,70 @@ type Generator struct {
 	cfg     GenConfig
 	rng     *rand.Rand
 	centers [][]float64
+	count   int
 }
 
 // NewGenerator builds a generator, placing cluster centers uniformly in
-// the interior of the unit box so cluster mass stays inside it.
+// the interior of the unit box (so cluster mass stays inside it) unless
+// cfg.Centers pins them explicitly.
 func NewGenerator(cfg GenConfig) *Generator {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := &Generator{cfg: cfg, rng: rng}
-	for c := 0; c < cfg.Clusters; c++ {
-		center := make([]float64, cfg.Dims)
-		for i := range center {
-			center[i] = 0.2 + 0.6*rng.Float64()
+	if len(cfg.Centers) > 0 {
+		for _, c := range cfg.Centers {
+			center := make([]float64, cfg.Dims)
+			copy(center, c)
+			g.centers = append(g.centers, center)
 		}
-		g.centers = append(g.centers, center)
+		return g
 	}
+	g.centers = make([][]float64, cfg.Clusters)
+	for c := range g.centers {
+		g.centers[c] = make([]float64, cfg.Dims)
+	}
+	g.placeCenters()
 	return g
+}
+
+// placeCenters re-randomizes every cluster center.
+func (g *Generator) placeCenters() {
+	for _, center := range g.centers {
+		for i := range center {
+			center[i] = 0.2 + 0.6*g.rng.Float64()
+		}
+	}
 }
 
 // Next fills buf (length ≥ Dims) with the next point and reports
 // whether it is a planted projected outlier. It does not allocate.
 func (g *Generator) Next(buf []float64) bool {
 	cfg := &g.cfg
-	center := g.centers[g.rng.Intn(len(g.centers))]
+	if cfg.DriftPeriod > 0 && g.count > 0 && g.count%cfg.DriftPeriod == 0 {
+		g.placeCenters()
+	}
+	g.count++
+	ci := g.rng.Intn(len(g.centers))
+	center := g.centers[ci]
 	for i := 0; i < cfg.Dims; i++ {
 		buf[i] = clamp01(center[i] + cfg.Sigma*g.rng.NormFloat64())
 	}
 	if g.rng.Float64() >= cfg.OutlierRate {
 		return false
+	}
+	if cfg.Mode == OutlierMix {
+		if len(g.centers) < 2 {
+			return false // mix outliers need a second cluster to borrow from
+		}
+		// Borrow MixDim from another cluster: the coordinate lands in
+		// that cluster's dense interval, so no 1-D projection is
+		// suspicious — only the joint cells pairing MixDim with the
+		// home cluster's other dimensions are empty.
+		bi := g.rng.Intn(len(g.centers) - 1)
+		if bi >= ci {
+			bi++
+		}
+		buf[cfg.MixDim] = clamp01(g.centers[bi][cfg.MixDim] + cfg.Sigma*g.rng.NormFloat64())
+		return true
 	}
 	// Displace a few dimensions to coordinates far from every cluster
 	// center: anomalous only when those dimensions are examined

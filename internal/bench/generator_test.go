@@ -69,6 +69,99 @@ func TestGeneratorOutlierRateAndDisplacement(t *testing.T) {
 	}
 }
 
+// TestGeneratorMixOutliers: in OutlierMix mode every coordinate of a
+// planted outlier is near SOME cluster center in its own dimension
+// (dense 1-D marginals), while the MixDim coordinate is far from the
+// home cluster — the anomaly only exists jointly.
+func TestGeneratorMixOutliers(t *testing.T) {
+	cfg := GenConfig{
+		Dims:        6,
+		Centers:     [][]float64{{0.2, 0.2, 0.2, 0.2, 0.2, 0.2}, {0.8, 0.8, 0.8, 0.8, 0.8, 0.8}},
+		Sigma:       0.01,
+		OutlierRate: 0.1,
+		Mode:        OutlierMix,
+		MixDim:      3,
+		Seed:        7,
+	}
+	g := NewGenerator(cfg)
+	buf := make([]float64, 6)
+	outliers := 0
+	for i := 0; i < 3000; i++ {
+		if !g.Next(buf) {
+			continue
+		}
+		outliers++
+		for dim, x := range buf {
+			near := math.Min(math.Abs(x-0.2), math.Abs(x-0.8))
+			if near > 0.1 {
+				t.Fatalf("mix outlier dim %d = %v, not near any center: 1-D marginal is suspicious", dim, x)
+			}
+		}
+		// The MixDim coordinate must come from the other cluster: far
+		// from whichever cluster generated the rest of the point.
+		home := 0.2
+		if math.Abs(buf[0]-0.8) < math.Abs(buf[0]-0.2) {
+			home = 0.8
+		}
+		if math.Abs(buf[cfg.MixDim]-home) < 0.3 {
+			t.Fatalf("mix outlier MixDim = %v matches its home cluster %v — not an outlier", buf[cfg.MixDim], home)
+		}
+	}
+	if outliers < 100 {
+		t.Fatalf("only %d mix outliers planted in 3000 points", outliers)
+	}
+}
+
+// TestGeneratorDriftMovesClusters: with DriftPeriod set, the cluster
+// centers relocate, so points from different drift generations occupy
+// different regions.
+func TestGeneratorDriftMovesClusters(t *testing.T) {
+	cfg := DefaultGenConfig(4)
+	cfg.Clusters = 1
+	cfg.OutlierRate = 0
+	cfg.DriftPeriod = 100
+	g := NewGenerator(cfg)
+	buf := make([]float64, 4)
+	var first [4]float64
+	g.Next(buf)
+	copy(first[:], buf)
+	moved := false
+	for i := 1; i < 1000; i++ {
+		g.Next(buf)
+		dist := 0.0
+		for j := range buf {
+			dist += math.Abs(buf[j] - first[j])
+		}
+		if dist > 0.5 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("cluster never moved across 10 drift periods")
+	}
+}
+
+// TestGeneratorExplicitCenters pins centers and checks inliers stay
+// near them.
+func TestGeneratorExplicitCenters(t *testing.T) {
+	cfg := GenConfig{
+		Dims:    3,
+		Centers: [][]float64{{0.25, 0.5, 0.75}},
+		Sigma:   0.01,
+		Seed:    3,
+	}
+	g := NewGenerator(cfg)
+	buf := make([]float64, 3)
+	for i := 0; i < 200; i++ {
+		g.Next(buf)
+		for j, want := range cfg.Centers[0] {
+			if math.Abs(buf[j]-want) > 0.1 {
+				t.Fatalf("point %d dim %d = %v, want near %v", i, j, buf[j], want)
+			}
+		}
+	}
+}
+
 func TestFillCountsPlanted(t *testing.T) {
 	cfg := DefaultGenConfig(6)
 	cfg.OutlierRate = 0.1

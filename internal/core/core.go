@@ -19,8 +19,9 @@
 //     base cell, i.e. a cell of the full d-dimensional space. It holds
 //     the decayed density Dc plus per-dimension decayed linear and
 //     squared sums (LS/SS) from which centroids and spreads of any
-//     projection can be reconstructed — the raw material for the
-//     self-evolving subspace group of later PRs. See BCS.
+//     projection can be reconstructed — the raw material the epoch
+//     sweep snapshots for the self-evolving subspace group
+//     (internal/sst's Evolver). See BCS.
 //
 //   - PCS (Projected Cell Summary): the compact summary kept per
 //     populated cell of every subspace in the Sparse Subspace Template.
@@ -37,4 +38,11 @@
 //     the tick of its last update and is brought current only when it
 //     is touched again, so ingestion never scans the summary tables.
 //     See Decay, DecayTable and the Touch methods.
+//
+//   - Epoch sweep: the counterpart of lazy decay. Summaries the stream
+//     abandons are never touched again, so PCSTable and BCSTable
+//     support a periodic linear sweep that evicts entries whose
+//     decayed density fell below a floor ε and hands survivors to a
+//     visitor for density accounting and SST evolution. See
+//     PCSTable.Sweep and BCSTable.Sweep.
 package core

@@ -109,8 +109,9 @@ func (p *PCS) Sigma() float64 {
 // d-dimensional space. Unlike the scalar PCS it stores per-dimension
 // decayed linear sums (LS) and squared sums (SS), so the centroid and
 // spread of the cell under any projection can be reconstructed without
-// revisiting data — the raw material the self-evolving subspace group
-// of later PRs will mine for candidate subspaces.
+// revisiting data — the raw material the epoch sweep snapshots and the
+// self-evolving subspace group (internal/sst's TopSparse evolver)
+// mines for candidate subspaces.
 type BCS struct {
 	Dc   float64
 	LS   []float64
@@ -141,6 +142,12 @@ func (b *BCS) Touch(t *DecayTable, tick uint64, point []float64) {
 		b.LS[i] += x
 		b.SS[i] += x * x
 	}
+}
+
+// DcAt returns the decayed density as seen at tick without mutating the
+// summary.
+func (b *BCS) DcAt(t *DecayTable, tick uint64) float64 {
+	return b.Dc * t.At(tick-b.Last)
 }
 
 // Centroid writes the decayed centroid of the cell into out.

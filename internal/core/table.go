@@ -1,0 +1,159 @@
+package core
+
+// Summary tables with epoch-sweep support. The streaming hot path only
+// ever touches one cell per subspace per point, so lazy decay keeps
+// ingestion cost independent of table size — but it also means a cell
+// abandoned by a drifting stream is never visited again and its
+// near-zero summary lingers forever. The tables below add the missing
+// half of the lifecycle: a periodic sweep that visits every summary
+// once per epoch, evicts the ones whose decayed weight has fallen below
+// a floor ε, and hands every survivor to a caller-supplied visitor so
+// the same scan can feed density accounting and SST evolution without a
+// second pass over the data.
+
+// PCSTable stores the Projected Cell Summaries of one shard: a packed
+// cell-key index over a dense slice of PCS records. The dense layout is
+// what makes the epoch sweep a linear scan instead of a map iteration,
+// and eviction a swap-remove instead of a tombstone. Not safe for
+// concurrent use; each detector shard owns exactly one table.
+type PCSTable struct {
+	index map[uint64]uint32
+	keys  []uint64
+	cells []PCS
+}
+
+// NewPCSTable returns an empty table.
+func NewPCSTable() *PCSTable {
+	return &PCSTable{index: make(map[uint64]uint32)}
+}
+
+// Len returns the number of populated cells in the table.
+func (t *PCSTable) Len() int { return len(t.cells) }
+
+// Get returns the summary for the cell key, creating an empty summary
+// stamped at tick if the cell was not yet populated. The returned
+// pointer is invalidated by the next Get that inserts or the next
+// Sweep; hot loops use it immediately and never retain it.
+func (t *PCSTable) Get(key uint64, tick uint64) *PCS {
+	if i, ok := t.index[key]; ok {
+		return &t.cells[i]
+	}
+	i := uint32(len(t.cells))
+	t.cells = append(t.cells, PCS{Last: tick})
+	t.keys = append(t.keys, key)
+	t.index[key] = i
+	return &t.cells[i]
+}
+
+// At returns the key and summary at dense position i (0 ≤ i < Len).
+// Positions are stable between sweeps but not across them.
+func (t *PCSTable) At(i int) (uint64, *PCS) { return t.keys[i], &t.cells[i] }
+
+// removeAt evicts the cell at dense position i by swap-remove: the
+// last cell takes the freed slot and the key index is repointed, so
+// compaction is O(1) with no tombstones.
+func (t *PCSTable) removeAt(i int) {
+	last := len(t.cells) - 1
+	delete(t.index, t.keys[i])
+	if i != last {
+		t.cells[i] = t.cells[last]
+		t.keys[i] = t.keys[last]
+		t.index[t.keys[i]] = uint32(i)
+	}
+	t.cells = t.cells[:last]
+	t.keys = t.keys[:last]
+}
+
+// Sweep visits every cell once, evicting those whose decayed density at
+// tick has fallen below eps and calling visit(key, dc) for each
+// survivor with its decayed density. Eviction is a swap-remove, so the
+// scan is O(cells) with no allocation. Returns the number of cells
+// evicted.
+func (t *PCSTable) Sweep(d *DecayTable, tick uint64, eps float64, visit func(key uint64, dc float64)) int {
+	evicted := 0
+	for i := 0; i < len(t.cells); {
+		dc := t.cells[i].DcAt(d, tick)
+		if dc < eps {
+			t.removeAt(i)
+			evicted++
+			continue // the swapped-in cell now sits at i; revisit it
+		}
+		if visit != nil {
+			visit(t.keys[i], dc)
+		}
+		i++
+	}
+	return evicted
+}
+
+// EvictIf removes every cell whose key matches pred and returns how
+// many were removed. Same swap-remove compaction as Sweep; used to
+// purge all cells of a subspace demoted from the SST so its ID can be
+// reused without ghost summaries.
+func (t *PCSTable) EvictIf(pred func(key uint64) bool) int {
+	evicted := 0
+	for i := 0; i < len(t.cells); {
+		if !pred(t.keys[i]) {
+			i++
+			continue
+		}
+		t.removeAt(i)
+		evicted++
+	}
+	return evicted
+}
+
+// BCSTable stores the Base Cell Summaries of the full d-dimensional
+// space, keyed by the point's interval-index vector. Touch is
+// allocation-free for existing cells (the compiler elides the string
+// conversion used as a map index); only inserting a new cell
+// materializes the key. Not safe for concurrent use; the detector's
+// dispatcher goroutine owns it exclusively.
+type BCSTable struct {
+	dims  int
+	cells map[string]*BCS
+}
+
+// NewBCSTable returns an empty base-cell table for a d-dimensional
+// space.
+func NewBCSTable(d int) *BCSTable {
+	return &BCSTable{dims: d, cells: make(map[string]*BCS)}
+}
+
+// Len returns the number of populated base cells.
+func (t *BCSTable) Len() int { return len(t.cells) }
+
+// Touch folds point (length d), whose per-dimension interval indices
+// are in coords, into its base cell at tick.
+func (t *BCSTable) Touch(d *DecayTable, tick uint64, coords []uint8, point []float64) {
+	b, ok := t.cells[string(coords)]
+	if !ok {
+		b = NewBCS(t.dims)
+		b.Last = tick
+		t.cells[string(coords)] = b
+	}
+	b.Touch(d, tick, point)
+}
+
+// Sweep visits every base cell once, evicting those whose decayed
+// density at tick has fallen below eps and calling visit(key, b, dc)
+// for each survivor with its summary and decayed density. key is the
+// cell's interval-index vector as an immutable string (one byte per
+// dimension) — callers needing a mutable copy convert it themselves,
+// so the common no-collect sweep allocates nothing. Returns the number
+// of cells evicted.
+func (t *BCSTable) Sweep(d *DecayTable, tick uint64, eps float64, visit func(key string, b *BCS, dc float64)) int {
+	evicted := 0
+	for key, b := range t.cells {
+		dc := b.DcAt(d, tick)
+		if dc < eps {
+			delete(t.cells, key)
+			evicted++
+			continue
+		}
+		if visit != nil {
+			visit(key, b, dc)
+		}
+	}
+	return evicted
+}

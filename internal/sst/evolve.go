@@ -1,0 +1,291 @@
+package sst
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+
+	"spot/internal/core"
+)
+
+// BaseCell is one populated cell of the full data space as seen by the
+// epoch sweep: its per-dimension interval indices and its decayed
+// density at the sweep tick. The slice of BaseCells is the compact,
+// stream-independent snapshot an Evolver mines for candidate subspaces
+// — projecting base cells onto a dimension set reconstructs that
+// subspace's cell histogram without ever revisiting points.
+type BaseCell struct {
+	Coords []uint8
+	Dc     float64
+}
+
+// SubspaceStats is what the epoch sweep records for one live SST
+// subspace: how many of its cells are populated, their total decayed
+// density, and how many are sparse (density below the detector's
+// sparse-cell ratio times the subspace's average populated density).
+// Evolvers use it to decide whether an evolved subspace still earns its
+// slot; Sparse is therefore only computed for evolved subspaces and
+// stays zero for the fixed group.
+type SubspaceStats struct {
+	Populated int
+	TotalDc   float64
+	Sparse    int
+}
+
+// EpochStats is the summary snapshot the detector hands the Evolver at
+// each epoch boundary. All densities are as of Tick; the snapshot is
+// identical regardless of shard count, so evolution decisions are too.
+type EpochStats struct {
+	// Tick is the stream tick the sweep ran at.
+	Tick uint64
+	// BaseTotal is the total decayed density across surviving base
+	// cells.
+	BaseTotal float64
+	// BaseCells are the surviving cells of the full-space table.
+	BaseCells []BaseCell
+	// Subspaces is indexed by subspace ID; entries for inactive slots
+	// are zero. Only populated cells that survived eviction count.
+	Subspaces []SubspaceStats
+}
+
+// Evolution is an Evolver's verdict for one epoch: dimension sets to
+// promote into the evolved group and live evolved IDs to demote. The
+// detector applies demotions first, so a promotion may reuse a slot
+// demoted in the same epoch.
+type Evolution struct {
+	Promote [][]uint16
+	Demote  []uint32
+}
+
+// Evolver is the self-evolving-group strategy: called by the detector
+// at every epoch boundary (hot path idle) with the sweep's summary
+// snapshot, it proposes template mutations. Implementations must be
+// deterministic functions of their own state and the snapshot so that
+// verdicts stay independent of the shard count.
+type Evolver interface {
+	Evolve(t *Template, stats *EpochStats) Evolution
+}
+
+// TopSparseConfig parameterizes the unsupervised top-sparse evolver.
+type TopSparseConfig struct {
+	// Arity is the dimensionality of candidate subspaces (typically
+	// above the fixed group's maxDim, so evolution extends coverage
+	// rather than duplicating it). Must be in [2, core.MaxSubspaceDims].
+	Arity int
+	// TopS caps the evolved group: at most TopS subspaces are live at
+	// once (the paper's top-s sparsest subspaces).
+	TopS int
+	// Explore bounds how many candidate subspaces are scored per epoch.
+	// When the full C(d, Arity) enumeration fits the bound it is scored
+	// exhaustively (deterministic); otherwise Explore candidates are
+	// sampled uniformly per epoch, so coverage accumulates across
+	// epochs. 0 defaults to 256.
+	Explore int
+	// SparseRatio classifies a projected cell as sparse when its
+	// density is below SparseRatio times the candidate's average
+	// populated-cell density. 0 defaults to 0.1.
+	SparseRatio float64
+	// MinScore is the promotion floor and demotion ceiling: a candidate
+	// needs a sparse-cell fraction ≥ MinScore to enter the evolved
+	// group, and a member whose swept sparse fraction drops below it is
+	// demoted. 0 defaults to 0.02.
+	MinScore float64
+	// Seed fixes the candidate-sampling RNG so runs are reproducible.
+	Seed int64
+}
+
+// TopSparse is the unsupervised self-evolving group of the paper: each
+// epoch it scores candidate subspaces by how much sparse structure
+// their projection of the base-cell snapshot exhibits — the fraction of
+// populated projected cells whose density falls below SparseRatio times
+// the projection's average — promotes the top-scoring candidates into
+// the template, and demotes members whose swept statistics show no
+// remaining sparse cells (the stream drifted away; their summaries have
+// been evicted).
+//
+// Not safe for concurrent use; the detector calls it from the epoch
+// path only.
+type TopSparse struct {
+	cfg  TopSparseConfig
+	rng  *rand.Rand
+	comb []uint16
+	hist map[uint64]float64
+	ids  []uint32
+}
+
+// NewTopSparse validates cfg, applies defaults, and returns the
+// evolver.
+func NewTopSparse(cfg TopSparseConfig) (*TopSparse, error) {
+	if cfg.Arity < 2 || cfg.Arity > core.MaxSubspaceDims {
+		return nil, fmt.Errorf("sst: evolver arity must be in [2,%d], got %d", core.MaxSubspaceDims, cfg.Arity)
+	}
+	if cfg.TopS < 1 {
+		return nil, fmt.Errorf("sst: TopS must be positive, got %d", cfg.TopS)
+	}
+	if cfg.Explore == 0 {
+		cfg.Explore = 256
+	}
+	if cfg.Explore < 0 {
+		return nil, fmt.Errorf("sst: Explore must be non-negative, got %d", cfg.Explore)
+	}
+	if cfg.SparseRatio == 0 {
+		cfg.SparseRatio = 0.1
+	}
+	if cfg.SparseRatio < 0 || cfg.SparseRatio >= 1 {
+		return nil, fmt.Errorf("sst: SparseRatio must be in (0,1), got %g", cfg.SparseRatio)
+	}
+	if cfg.MinScore == 0 {
+		cfg.MinScore = 0.02
+	}
+	return &TopSparse{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		comb: make([]uint16, cfg.Arity),
+		hist: make(map[uint64]float64),
+	}, nil
+}
+
+// candidate is a scored dimension set.
+type candidate struct {
+	dims  []uint16
+	score float64
+}
+
+// Evolve implements Evolver.
+func (e *TopSparse) Evolve(t *Template, stats *EpochStats) Evolution {
+	var ev Evolution
+
+	// Demote members whose swept cells no longer show sparse structure:
+	// either the subspace went entirely stale (every cell evicted) or
+	// its sparse fraction fell below the floor.
+	e.ids = t.EvolvedIDs(e.ids[:0])
+	live := 0
+	for _, id := range e.ids {
+		s := SubspaceStats{}
+		if int(id) < len(stats.Subspaces) {
+			s = stats.Subspaces[id]
+		}
+		if s.Populated == 0 || float64(s.Sparse)/float64(s.Populated) < e.cfg.MinScore {
+			ev.Demote = append(ev.Demote, id)
+			continue
+		}
+		live++
+	}
+
+	room := e.cfg.TopS - live
+	if room <= 0 || len(stats.BaseCells) == 0 {
+		return ev
+	}
+
+	// Score candidates and keep the best `room` of them.
+	var cands []candidate
+	consider := func(dims []uint16) {
+		if _, ok := t.Contains(dims); ok {
+			return
+		}
+		if score, ok := e.score(dims, stats); ok && score >= e.cfg.MinScore {
+			c := candidate{dims: append([]uint16(nil), dims...), score: score}
+			cands = append(cands, c)
+		}
+	}
+	d := t.SpaceDims()
+	if n, err := binomial(d, e.cfg.Arity); err == nil && n <= e.cfg.Explore {
+		e.enumerate(e.comb, 0, 0, d, consider)
+	} else {
+		for i := 0; i < e.cfg.Explore; i++ {
+			e.sample(d)
+			consider(e.comb)
+		}
+	}
+	// Highest score first; ties break on the lexicographically smaller
+	// dimension set so results are deterministic.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return slices.Compare(cands[i].dims, cands[j].dims) < 0
+	})
+	for _, c := range cands {
+		if room == 0 {
+			break
+		}
+		dup := false // random sampling can draw the same set twice
+		for _, p := range ev.Promote {
+			if slices.Equal(p, c.dims) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		ev.Promote = append(ev.Promote, c.dims)
+		room--
+	}
+	return ev
+}
+
+// score projects the base-cell snapshot onto dims and returns the
+// sparse-cell fraction of the projection. A projection with fewer than
+// two populated cells carries no contrast and scores nothing.
+func (e *TopSparse) score(dims []uint16, stats *EpochStats) (float64, bool) {
+	clear(e.hist)
+	total := 0.0
+	for i := range stats.BaseCells {
+		bc := &stats.BaseCells[i]
+		var key uint64
+		for j, dim := range dims {
+			key |= uint64(bc.Coords[dim]) << (uint(j) * core.CoordBits)
+		}
+		e.hist[key] += bc.Dc
+		total += bc.Dc
+	}
+	if len(e.hist) < 2 || total <= 0 {
+		return 0, false
+	}
+	avg := total / float64(len(e.hist))
+	sparse := 0
+	for _, dc := range e.hist {
+		if dc < e.cfg.SparseRatio*avg {
+			sparse++
+		}
+	}
+	return float64(sparse) / float64(len(e.hist)), true
+}
+
+// enumerate walks every sorted Arity-combination of [0,d), handing each
+// to consider via the shared scratch slice.
+func (e *TopSparse) enumerate(comb []uint16, pos, from, d int, consider func([]uint16)) {
+	if pos == len(comb) {
+		consider(comb)
+		return
+	}
+	for i := from; i <= d-(len(comb)-pos); i++ {
+		comb[pos] = uint16(i)
+		e.enumerate(comb, pos+1, i+1, d, consider)
+	}
+}
+
+// sample draws a random sorted Arity-subset of [0,d) into the scratch
+// combination.
+func (e *TopSparse) sample(d int) {
+	k := e.cfg.Arity
+	// Floyd's algorithm: k draws, no rejection loop.
+	chosen := e.comb[:0]
+	for i := d - k; i < d; i++ {
+		v := uint16(e.rng.Intn(i + 1))
+		hit := false
+		for _, c := range chosen {
+			if c == v {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			v = uint16(i)
+		}
+		chosen = append(chosen, v)
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i] < chosen[j] })
+}

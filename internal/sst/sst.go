@@ -1,12 +1,22 @@
 // Package sst implements the Sparse Subspace Template of SPOT: the set
 // of subspaces in which every streaming point is checked for projected
-// outlier-ness. This PR ships the fixed SST group — all subspaces of
-// dimension 1..maxDim of the data space — with the enumeration
-// precomputed once into flat index slices so the ingestion hot path
-// walks subspaces with pointer-free slice arithmetic. The template also
-// exposes a pluggable Evolver hook through which later PRs will add the
-// paper's self-evolving groups (unsupervised top-sparse subspaces and
-// supervised example-driven subspaces).
+// outlier-ness. The template holds two groups:
+//
+//   - The fixed group — every subspace of dimension 1..maxDim of the
+//     data space, enumerated once at construction into flat index
+//     slices so the ingestion hot path walks subspaces with
+//     pointer-free slice arithmetic. Fixed subspaces are never removed.
+//
+//   - The self-evolving group — subspaces promoted at runtime by an
+//     Evolver from the epoch sweep's summary statistics (the paper's
+//     unsupervised top-sparse group), and demoted again when the stream
+//     drifts away from them. Evolved slots are tombstoned on demotion
+//     and reused, so subspace IDs of live subspaces stay stable and the
+//     cell-key ID budget is not consumed by churn.
+//
+// Mutation (Promote/Demote) is only legal between stream epochs, while
+// no detector worker is reading the template; the stream package calls
+// it exclusively from its epoch-sweep path at batch boundaries.
 package sst
 
 import (
@@ -15,17 +25,26 @@ import (
 	"spot/internal/core"
 )
 
-// Template is an immutable enumeration of subspaces. Subspace i is
+// Template is the enumeration of SST subspaces. Subspace i is
 // identified by ID uint32(i); its member dimensions live in the flat
-// dims slice at [i*stride, i*stride+Size(i)). Immutability after
-// construction is what lets every detector shard walk the template
-// concurrently without synchronization.
+// dims slice at [i*stride, i*stride+Size(i)). IDs are never reassigned:
+// the fixed group occupies [0, FixedCount) forever, evolved subspaces
+// take IDs at or above FixedCount, and a demoted subspace's slot is
+// reused only after its cells have been purged by the owning shard.
+//
+// The template is safe for concurrent readers as long as no Promote or
+// Demote is in flight; the detector guarantees that by mutating only at
+// epoch boundaries with its workers idle.
 type Template struct {
 	spaceDims int
 	maxDim    int
 	stride    int
 	dims      []uint16 // flat, stride entries per subspace
 	sizes     []uint8  // arity per subspace
+	fixed     int      // subspaces [0,fixed) are the immutable fixed group
+	active    []bool   // per subspace; false marks a demoted (tombstoned) slot
+	free      []uint32 // demoted evolved IDs available for reuse
+	index     map[string]uint32
 }
 
 // NewFixed enumerates the fixed SST group: every subspace of dimension
@@ -59,13 +78,23 @@ func NewFixed(d, maxDim int) (*Template, error) {
 	t := &Template{
 		spaceDims: d,
 		maxDim:    maxDim,
-		stride:    maxDim,
-		dims:      make([]uint16, 0, n*maxDim),
-		sizes:     make([]uint8, 0, n),
+		// Stride is the key-layout maximum, not the fixed group's
+		// maxDim, so evolved subspaces of any legal arity fit the same
+		// flat layout.
+		stride: core.MaxSubspaceDims,
+		dims:   make([]uint16, 0, n*core.MaxSubspaceDims),
+		sizes:  make([]uint8, 0, n),
+		index:  make(map[string]uint32, n),
 	}
 	comb := make([]uint16, maxDim)
 	for k := 1; k <= maxDim; k++ {
 		t.enumerate(comb[:k], 0, 0)
+	}
+	t.fixed = len(t.sizes)
+	t.active = make([]bool, t.fixed)
+	for i := range t.active {
+		t.active[i] = true
+		t.index[sig(t.Dims(i))] = uint32(i)
 	}
 	return t, nil
 }
@@ -89,13 +118,133 @@ func (t *Template) enumerate(comb []uint16, pos, from int) {
 	}
 }
 
-// Count returns the number of subspaces in the template.
+// sig returns the canonical map key of a dimension set: its sorted
+// members as little-endian byte pairs.
+func sig(dims []uint16) string {
+	b := make([]byte, 2*len(dims))
+	for i, d := range dims {
+		b[2*i] = byte(d)
+		b[2*i+1] = byte(d >> 8)
+	}
+	return string(b)
+}
+
+// Count returns the number of subspace slots in the template, including
+// tombstoned (demoted) slots; use Active to skip those when iterating.
 func (t *Template) Count() int { return len(t.sizes) }
+
+// FixedCount returns the size of the immutable fixed group; subspace
+// IDs below it are always active.
+func (t *Template) FixedCount() int { return t.fixed }
+
+// Active reports whether subspace slot i currently holds a live
+// subspace (fixed, or evolved and not demoted).
+func (t *Template) Active(i int) bool { return t.active[i] }
+
+// IsFixed reports whether subspace i belongs to the immutable fixed
+// group.
+func (t *Template) IsFixed(i int) bool { return i < t.fixed }
+
+// EvolvedIDs appends the IDs of all live evolved subspaces to buf and
+// returns it; pass nil to allocate.
+func (t *Template) EvolvedIDs(buf []uint32) []uint32 {
+	for i := t.fixed; i < len(t.sizes); i++ {
+		if t.active[i] {
+			buf = append(buf, uint32(i))
+		}
+	}
+	return buf
+}
+
+// EvolvedCount returns the number of live evolved subspaces.
+func (t *Template) EvolvedCount() int {
+	n := 0
+	for i := t.fixed; i < len(t.sizes); i++ {
+		if t.active[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether a live subspace with exactly the given
+// (strictly increasing) dimension set is in the template, and its ID.
+func (t *Template) Contains(dims []uint16) (uint32, bool) {
+	id, ok := t.index[sig(dims)]
+	return id, ok
+}
+
+// Promote adds a live evolved subspace with the given strictly
+// increasing dimension set, reusing a tombstoned slot when one is free,
+// and returns its ID. It fails if the set is malformed, already in the
+// template, or the subspace-ID budget of the cell-key layout is
+// exhausted. Callers (the detector's epoch path) must not be processing
+// points concurrently.
+func (t *Template) Promote(dims []uint16) (uint32, error) {
+	if len(dims) < 1 || len(dims) > core.MaxSubspaceDims {
+		return 0, fmt.Errorf("sst: evolved arity must be in [1,%d], got %d", core.MaxSubspaceDims, len(dims))
+	}
+	for i, d := range dims {
+		if int(d) >= t.spaceDims {
+			return 0, fmt.Errorf("sst: dimension %d out of range for a %d-dimensional space", d, t.spaceDims)
+		}
+		if i > 0 && dims[i] <= dims[i-1] {
+			return 0, fmt.Errorf("sst: dimension set %v not strictly increasing", dims)
+		}
+	}
+	s := sig(dims)
+	if id, ok := t.index[s]; ok {
+		return id, fmt.Errorf("sst: subspace %v already in the template", dims)
+	}
+	var id uint32
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+		off := int(id) * t.stride
+		copy(t.dims[off:off+t.stride], make([]uint16, t.stride))
+		copy(t.dims[off:], dims)
+		t.sizes[id] = uint8(len(dims))
+		t.active[id] = true
+	} else {
+		if len(t.sizes) > core.MaxSubspaceID {
+			return 0, fmt.Errorf("sst: subspace-ID budget (%d) exhausted", core.MaxSubspaceID+1)
+		}
+		id = uint32(len(t.sizes))
+		t.sizes = append(t.sizes, uint8(len(dims)))
+		t.active = append(t.active, true)
+		start := len(t.dims)
+		t.dims = append(t.dims, dims...)
+		for len(t.dims) < start+t.stride {
+			t.dims = append(t.dims, 0)
+		}
+	}
+	if len(dims) > t.maxDim {
+		t.maxDim = len(dims)
+	}
+	t.index[s] = id
+	return id, nil
+}
+
+// Demote tombstones a live evolved subspace so its slot can be reused
+// by a later Promote. Fixed-group subspaces cannot be demoted. The
+// caller owns purging the subspace's cells before the slot is reused.
+func (t *Template) Demote(id uint32) error {
+	if int(id) < t.fixed {
+		return fmt.Errorf("sst: subspace %d is in the fixed group", id)
+	}
+	if int(id) >= len(t.sizes) || !t.active[id] {
+		return fmt.Errorf("sst: subspace %d is not a live evolved subspace", id)
+	}
+	delete(t.index, sig(t.Dims(int(id))))
+	t.active[id] = false
+	t.free = append(t.free, id)
+	return nil
+}
 
 // SpaceDims returns the dimensionality of the underlying data space.
 func (t *Template) SpaceDims() int { return t.spaceDims }
 
-// MaxDim returns the largest subspace arity in the template.
+// MaxDim returns the largest subspace arity the template has held.
 func (t *Template) MaxDim() int { return t.maxDim }
 
 // Size returns the arity of subspace i.
@@ -122,16 +271,4 @@ func binomial(n, k int) (int, error) {
 		}
 	}
 	return r, nil
-}
-
-// Evolver is the hook through which self-evolving SST groups will plug
-// in. An implementation inspects the current summaries and proposes
-// subspaces to add to (or retire from) the template between stream
-// epochs; the fixed group ships with no evolver.
-type Evolver interface {
-	// Evolve is called by the detector between batches with the
-	// current stream tick. Implementations return proposed new
-	// subspaces as dimension sets; returning nil leaves the template
-	// unchanged. This PR only defines the contract.
-	Evolve(tick uint64) [][]uint16
 }

@@ -3,15 +3,27 @@
 // decayed cell summaries of every Sparse Subspace Template subspace,
 // and emits a projected-outlier verdict per point.
 //
-// Concurrency model: the SST's subspaces are partitioned round-robin
-// across N shards. Each shard exclusively owns the cell table, totals
-// and representative set of its subspaces, so the hot path takes no
-// locks — a shard's state is only ever touched by the goroutine
-// processing it. Process walks the shards inline on the caller's
-// goroutine (deterministic, allocation-free); ProcessBatch hands the
-// whole batch to one worker goroutine per shard and synchronizes only
-// at batch boundaries via channels. Verdicts are identical regardless
-// of shard count.
+// Concurrency model: the SST's subspaces are partitioned across N
+// shards (round-robin for the fixed group, least-loaded for evolved
+// subspaces). Each shard exclusively owns the cell table, totals and
+// representative set of its subspaces, so the hot path takes no locks —
+// a shard's state is only ever touched by the goroutine processing it.
+// Process walks the shards inline on the caller's goroutine
+// (deterministic, allocation-free); ProcessBatch hands the whole batch
+// to one worker goroutine per shard and synchronizes only at batch
+// boundaries via channels. Verdicts are identical regardless of shard
+// count.
+//
+// Epoch engine: when Config.EpochTicks is set, the detector pauses at
+// every multiple of it — between points in Process, between internally
+// split sub-batches in ProcessBatch, always with the workers idle — and
+// sweeps every summary table once: summaries whose decayed density fell
+// below Config.EvictEpsilon are evicted (bounding memory on drifting
+// streams), per-arity average populated-cell densities are recomputed
+// (feeding the arity-aware RD test), and the optional sst.Evolver is
+// consulted to promote or demote self-evolving SST subspaces. Because
+// sweeps happen at exact ticks in both modes, batch and pointwise
+// verdicts stay identical.
 package stream
 
 import (
@@ -28,8 +40,8 @@ type Config struct {
 	Dims int
 	// Phi is the number of equi-width intervals per dimension.
 	Phi int
-	// MaxSubspaceDim bounds the arity of SST subspaces (paper default
-	// 3; capped at the space dimensionality).
+	// MaxSubspaceDim bounds the arity of fixed-group SST subspaces
+	// (paper default 3; capped at the space dimensionality).
 	MaxSubspaceDim int
 	// Shards is the number of independent workers the SST is
 	// partitioned across. 1 disables parallelism.
@@ -46,12 +58,20 @@ type Config struct {
 	// Note the floor: a just-touched cell has Dc ≥ 1 and the decayed
 	// stream weight asymptotes at 1/(1-2^-λ), so RD ≥ φ^k·(1-2^-λ);
 	// with the defaults (φ=8, λ=0.002) that is ~0.089 for arity-2 and
-	// ~0.71 for arity-3 — above the default threshold, meaning RD
-	// alone cannot flag outliers in multi-dimensional subspaces there.
-	// Detection in those subspaces comes from IkRD/IRSD, which are
-	// arity-independent; leave them enabled unless arity-1 RD is all
-	// you need.
+	// ~0.71 for arity-3 — above the default threshold, meaning the
+	// uniform RD test alone cannot flag outliers in multi-dimensional
+	// subspaces there. RDPopulatedThreshold closes that gap once epoch
+	// sweeps run; IkRD/IRSD are arity-independent throughout.
 	RDThreshold float64
+	// RDPopulatedThreshold is the arity-aware companion to RDThreshold:
+	// it flags a cell whose decayed density falls below this fraction
+	// of the average *populated* cell density among same-arity
+	// subspaces, as measured by the latest epoch sweep. Comparing
+	// against populated cells rather than the φ^k uniform expectation
+	// removes the arity floor, so the RD test can fire in 2-D/3-D
+	// subspaces. Inactive until the first sweep; requires EpochTicks.
+	// ≤0 disables.
+	RDPopulatedThreshold float64
 	// IRSDThreshold flags a cell whose Inverse Relative Standard
 	// Deviation falls below it. IRSD = 1/(1+z) with z the deviation
 	// of the cell's mean member magnitude from the subspace mean, in
@@ -71,24 +91,56 @@ type Config struct {
 	// summaries are still forming. The decayed weight of an infinite
 	// stream asymptotes at 1/(1-2^-λ), so Warmup must stay below that
 	// bound or verdicts would be suppressed forever; New rejects such
-	// configurations.
+	// configurations. Evolved subspaces start empty and warm up the
+	// same way after promotion.
 	Warmup float64
+	// EpochTicks is the epoch length E: every E ticks the detector
+	// sweeps all summary tables (eviction, density accounting, SST
+	// evolution). 0 disables the epoch engine — summaries then grow
+	// with every distinct cell ever touched, which is only safe for
+	// stationary streams.
+	EpochTicks uint64
+	// EvictEpsilon is the eviction floor ε: a summary whose decayed
+	// density at sweep time is below it is dropped. An evicted cell
+	// that is touched again simply restarts from zero, so ε trades a
+	// bounded bias (at most ε of forgotten weight) for bounded memory.
+	// A summary of weight w is evicted after ~log2(w/ε)/λ untouched
+	// ticks. 0 keeps sweeps but never evicts.
+	EvictEpsilon float64
+	// Evolver, when set, maintains the SST's self-evolving group: it is
+	// consulted at every epoch boundary with the sweep's statistics and
+	// may promote new subspaces into the template or demote stale ones.
+	// Promoted subspaces are assigned to the least-loaded shard; the
+	// hot path never observes a template mutation in flight. Requires
+	// EpochTicks.
+	Evolver sst.Evolver
+	// SweepSparseRatio classifies a swept cell as sparse when its
+	// decayed density is below this fraction of its subspace's average
+	// populated-cell density; the per-subspace sparse counts feed the
+	// Evolver's demotion decisions. 0 defaults to 0.1. Only meaningful
+	// with an Evolver set.
+	SweepSparseRatio float64
 }
 
 // DefaultConfig returns a starting configuration for a d-dimensional
-// stream over the unit box.
+// stream over the unit box. The epoch engine is on by default: sweeps
+// every 2048 ticks with a conservative eviction floor, and the
+// arity-aware RD test enabled.
 func DefaultConfig(d int) Config {
 	return Config{
-		Dims:           d,
-		Phi:            8,
-		MaxSubspaceDim: 3,
-		Shards:         1,
-		Lambda:         0.002,
-		RDThreshold:    0.05,
-		IRSDThreshold:  0.12,
-		IkRDThreshold:  0.15,
-		K:              3,
-		Warmup:         200,
+		Dims:                 d,
+		Phi:                  8,
+		MaxSubspaceDim:       3,
+		Shards:               1,
+		Lambda:               0.002,
+		RDThreshold:          0.05,
+		RDPopulatedThreshold: 0.05,
+		IRSDThreshold:        0.12,
+		IkRDThreshold:        0.15,
+		K:                    3,
+		Warmup:               200,
+		EpochTicks:           2048,
+		EvictEpsilon:         1e-6,
 	}
 }
 
@@ -109,15 +161,23 @@ type Detector struct {
 	tmpl   *sst.Template
 	decay  *core.DecayTable
 	shards []*shard
+	owner  []int32 // subspace ID -> owning shard index
 	tick   uint64
 
-	// Base Cell Summaries over the full d-dimensional space, keyed by
-	// the interval-index vector itself. Map lookups with a string(…)
-	// conversion of the scratch buffer are allocation-free (the
-	// compiler elides the copy for index expressions); only inserting
-	// a new cell materializes the key.
-	bcs      map[string]*core.BCS
+	// Base Cell Summaries over the full d-dimensional space; owned by
+	// the dispatcher goroutine, updated while shard workers run.
+	bcs      *core.BCSTable
 	bscratch []uint8
+
+	// Epoch-engine state: the per-arity average populated-cell
+	// densities as of the last sweep (read by shards during
+	// processing, written only between batches with workers idle),
+	// reusable sweep buffers, and lifetime counters.
+	popAvg     [core.MaxSubspaceDims + 1]float64
+	perSub     []sst.SubspaceStats
+	baseCells  []sst.BaseCell
+	coordArena []uint8
+	counters   epochCounters
 
 	jobs      []chan job
 	done      chan struct{}
@@ -143,6 +203,23 @@ func New(cfg Config) (*Detector, error) {
 		return nil, fmt.Errorf("stream: Warmup %g is unreachable: decayed stream weight asymptotes at %.1f for Lambda=%g",
 			cfg.Warmup, cap, cfg.Lambda)
 	}
+	if cfg.EvictEpsilon < 0 {
+		return nil, fmt.Errorf("stream: EvictEpsilon must be non-negative, got %g", cfg.EvictEpsilon)
+	}
+	if cfg.EpochTicks == 0 {
+		if cfg.Evolver != nil {
+			return nil, fmt.Errorf("stream: an Evolver requires EpochTicks > 0 (it runs at epoch boundaries)")
+		}
+		if cfg.RDPopulatedThreshold > 0 {
+			return nil, fmt.Errorf("stream: RDPopulatedThreshold requires EpochTicks > 0 (its reference densities come from sweeps)")
+		}
+	}
+	if cfg.SweepSparseRatio == 0 {
+		cfg.SweepSparseRatio = 0.1
+	}
+	if cfg.SweepSparseRatio < 0 || cfg.SweepSparseRatio >= 1 {
+		return nil, fmt.Errorf("stream: SweepSparseRatio must be in (0,1), got %g", cfg.SweepSparseRatio)
+	}
 	min, max := cfg.Min, cfg.Max
 	if min == nil && max == nil {
 		min = make([]float64, cfg.Dims)
@@ -167,7 +244,7 @@ func New(cfg Config) (*Detector, error) {
 		grid:     grid,
 		tmpl:     tmpl,
 		decay:    core.NewDecayTable(cfg.Lambda),
-		bcs:      make(map[string]*core.BCS),
+		bcs:      core.NewBCSTable(cfg.Dims),
 		bscratch: make([]uint8, cfg.Dims),
 	}
 	// Round-robin partition of subspace IDs. The template enumerates
@@ -177,13 +254,18 @@ func New(cfg Config) (*Detector, error) {
 	for i := range d.shards {
 		d.shards[i] = newShard(d, i)
 	}
+	d.owner = make([]int32, tmpl.Count())
 	for id := 0; id < tmpl.Count(); id++ {
-		d.shards[id%cfg.Shards].addSubspace(uint32(id))
+		sh := id % cfg.Shards
+		d.owner[id] = int32(sh)
+		d.shards[sh].addSubspace(uint32(id))
 	}
 	return d, nil
 }
 
-// Template exposes the detector's SST (read-only).
+// Template exposes the detector's SST. Callers must treat it as
+// read-only and must not hold references across Process/ProcessBatch
+// calls when an Evolver is configured (the epoch path mutates it).
 func (d *Detector) Template() *sst.Template { return d.tmpl }
 
 // Tick returns the number of points ingested so far.
@@ -191,7 +273,9 @@ func (d *Detector) Tick() uint64 { return d.tick }
 
 // Process ingests one d-dimensional point and reports whether any SST
 // subspace places it in an outlying cell. For points that land in
-// already-populated cells it performs zero heap allocations.
+// already-populated cells it performs zero heap allocations; the
+// amortized exception is the epoch sweep, which runs inline every
+// Config.EpochTicks points.
 func (d *Detector) Process(point []float64) bool {
 	d.tick++
 	t := d.tick
@@ -202,13 +286,16 @@ func (d *Detector) Process(point []float64) bool {
 			out = true
 		}
 	}
+	d.maybeSweep()
 	return out
 }
 
 // ProcessBatch ingests a flat row-major batch (len(flat) = n*Dims) and
 // writes one verdict per point into out (len(out) ≥ n), returning n.
-// The batch is processed by all shard workers in parallel; verdicts are
-// identical to feeding the points to Process one by one.
+// The batch is processed by all shard workers in parallel; a batch that
+// crosses an epoch boundary is split internally so sweeps still run at
+// exact epoch ticks, making verdicts identical to feeding the points to
+// Process one by one.
 func (d *Detector) ProcessBatch(flat []float64, out []bool) int {
 	if len(flat)%d.cfg.Dims != 0 {
 		panic("stream: batch length not a multiple of Dims")
@@ -220,6 +307,25 @@ func (d *Detector) ProcessBatch(flat []float64, out []bool) int {
 	if len(out) < n {
 		panic("stream: verdict buffer shorter than batch")
 	}
+	if d.cfg.EpochTicks == 0 {
+		d.runBatch(flat, n, out)
+		return n
+	}
+	for done := 0; done < n; {
+		chunk := n - done
+		if rem := int(d.cfg.EpochTicks - d.tick%d.cfg.EpochTicks); chunk > rem {
+			chunk = rem
+		}
+		d.runBatch(flat[done*d.cfg.Dims:(done+chunk)*d.cfg.Dims], chunk, out[done:done+chunk])
+		done += chunk
+		d.maybeSweep()
+	}
+	return n
+}
+
+// runBatch dispatches one (sub-)batch of n points to the shard workers
+// and merges their verdict bitsets into out.
+func (d *Detector) runBatch(flat []float64, n int, out []bool) {
 	t0 := d.tick
 	d.tick += uint64(n)
 	if !d.workersUp {
@@ -247,7 +353,6 @@ func (d *Detector) ProcessBatch(flat []float64, out []bool) int {
 			}
 		}
 	}
-	return n
 }
 
 func (d *Detector) startWorkers() {
@@ -283,24 +388,18 @@ func (d *Detector) Close() {
 // touchBase folds the point into its Base Cell Summary.
 func (d *Detector) touchBase(point []float64, tick uint64) {
 	d.grid.Intervals(point, d.bscratch)
-	b, ok := d.bcs[string(d.bscratch)]
-	if !ok {
-		b = core.NewBCS(d.cfg.Dims)
-		b.Last = tick
-		d.bcs[string(d.bscratch)] = b
-	}
-	b.Touch(d.decay, tick, point)
+	d.bcs.Touch(d.decay, tick, d.bscratch, point)
 }
 
 // BaseCells returns the number of populated base cells.
-func (d *Detector) BaseCells() int { return len(d.bcs) }
+func (d *Detector) BaseCells() int { return d.bcs.Len() }
 
 // ProjectedCells returns the number of populated SST cells across all
 // shards.
 func (d *Detector) ProjectedCells() int {
 	n := 0
 	for _, sh := range d.shards {
-		n += len(sh.cells)
+		n += sh.table.Len()
 	}
 	return n
 }

@@ -1,0 +1,208 @@
+package stream
+
+import (
+	"bytes"
+	"sort"
+
+	"spot/internal/core"
+	"spot/internal/sst"
+)
+
+// Epoch sweep: the periodic pass that closes the lazy-decay lifecycle.
+// Ingestion only ever touches the one cell a point lands in, so a cell
+// abandoned by a drifting stream is never visited again — without a
+// sweep its near-zero summary lingers forever and memory grows with
+// every distinct cell ever touched. Every Config.EpochTicks ticks the
+// detector therefore walks all summary tables once while its workers
+// are idle, and uses the same scan three ways:
+//
+//  1. Eviction — summaries whose decayed density fell below
+//     Config.EvictEpsilon are dropped, bounding the table size by the
+//     stream's recent footprint instead of its history.
+//  2. Density accounting — per-arity averages over the surviving
+//     (populated) cells become the reference for the arity-aware RD
+//     test (Config.RDPopulatedThreshold).
+//  3. SST evolution — the surviving base cells and per-subspace sparse
+//     statistics are handed to the Evolver, which may promote new
+//     self-evolving subspaces into the template or demote stale ones;
+//     shard assignment of promoted subspaces happens here too, so the
+//     hot path never observes a template mutation.
+//
+// All sweep decisions derive from globally merged statistics: the
+// base-cell snapshot is sorted by coordinates and the per-arity
+// averages are reduced in subspace-ID order, so evolution and verdicts
+// are independent of the shard count and of Go's randomized map
+// iteration — up to floating-point rounding of the per-subspace cell
+// sums, whose order can differ at the ULP level. Tests assert strict
+// invariance but exercise margins far wider than rounding noise.
+
+// arityAccum accumulates populated-cell statistics for one subspace
+// arity during a sweep.
+type arityAccum struct {
+	cells int
+	dc    float64
+}
+
+// epochCounters are the lifetime totals of the epoch engine, exposed
+// through Stats.
+type epochCounters struct {
+	sweeps           uint64
+	evictedProjected uint64
+	evictedBase      uint64
+	promoted         uint64
+	demoted          uint64
+}
+
+// maybeSweep runs an epoch sweep when the stream just crossed an epoch
+// boundary. Called with shard workers idle.
+func (d *Detector) maybeSweep() {
+	if d.cfg.EpochTicks > 0 && d.tick%d.cfg.EpochTicks == 0 {
+		d.epochSweep()
+	}
+}
+
+// epochSweep performs one full sweep at the current tick: shard tables
+// first (eviction, per-subspace and per-arity accounting), then the
+// base-cell table, then the per-arity averages, then evolution.
+func (d *Detector) epochSweep() {
+	tick := d.tick
+	eps := d.cfg.EvictEpsilon
+
+	if n := d.tmpl.Count(); cap(d.perSub) < n {
+		d.perSub = make([]sst.SubspaceStats, n)
+	} else {
+		d.perSub = d.perSub[:n]
+		for i := range d.perSub {
+			d.perSub[i] = sst.SubspaceStats{}
+		}
+	}
+	for _, sh := range d.shards {
+		d.counters.evictedProjected += uint64(sh.sweep(tick, eps, d.perSub))
+	}
+
+	collect := d.cfg.Evolver != nil
+	d.baseCells = d.baseCells[:0]
+	// The arena backs every snapshot Coords slice; pre-sizing it to the
+	// pre-sweep table footprint (an upper bound on survivors) keeps the
+	// collect pass to a single allocation at most.
+	if need := d.bcs.Len() * d.cfg.Dims; cap(d.coordArena) < need {
+		d.coordArena = make([]uint8, 0, need)
+	}
+	d.coordArena = d.coordArena[:0]
+	baseTotal := 0.0
+	d.counters.evictedBase += uint64(d.bcs.Sweep(d.decay, tick, eps, func(key string, _ *core.BCS, dc float64) {
+		baseTotal += dc
+		if collect {
+			off := len(d.coordArena)
+			d.coordArena = append(d.coordArena, key...)
+			d.baseCells = append(d.baseCells, sst.BaseCell{Coords: d.coordArena[off:], Dc: dc})
+		}
+	}))
+	// Map iteration order is randomized; sort the snapshot so evolver
+	// decisions are reproducible run to run.
+	sort.Slice(d.baseCells, func(i, j int) bool {
+		return bytes.Compare(d.baseCells[i].Coords, d.baseCells[j].Coords) < 0
+	})
+
+	// Per-arity populated averages, reduced from the per-subspace sums
+	// in subspace-ID order so the result does not depend on how cells
+	// interleave across shard tables.
+	var perArity [core.MaxSubspaceDims + 1]arityAccum
+	for sid := range d.perSub {
+		if st := &d.perSub[sid]; st.Populated > 0 {
+			a := &perArity[d.tmpl.Size(sid)]
+			a.cells += st.Populated
+			a.dc += st.TotalDc
+		}
+	}
+	for a := range d.popAvg {
+		if perArity[a].cells > 0 {
+			d.popAvg[a] = perArity[a].dc / float64(perArity[a].cells)
+		} else {
+			d.popAvg[a] = 0
+		}
+	}
+	d.counters.sweeps++
+
+	if collect {
+		stats := sst.EpochStats{
+			Tick:      tick,
+			BaseTotal: baseTotal,
+			BaseCells: d.baseCells,
+			Subspaces: d.perSub,
+		}
+		d.applyEvolution(d.cfg.Evolver.Evolve(d.tmpl, &stats))
+	}
+}
+
+// applyEvolution mutates the template and shard assignment per the
+// evolver's verdict: demotions first (freeing slots and purging their
+// cells), then promotions onto the least-loaded shards.
+func (d *Detector) applyEvolution(ev sst.Evolution) {
+	for _, id := range ev.Demote {
+		if err := d.tmpl.Demote(id); err != nil {
+			continue // e.g. a fixed-group ID from a misbehaving evolver
+		}
+		d.shards[d.owner[id]].removeSubspace(id)
+		d.counters.demoted++
+	}
+	for _, dims := range ev.Promote {
+		id, err := d.tmpl.Promote(dims)
+		if err != nil {
+			continue // duplicate or malformed proposal
+		}
+		best := 0
+		for i := 1; i < len(d.shards); i++ {
+			if len(d.shards[i].subs) < len(d.shards[best].subs) {
+				best = i
+			}
+		}
+		for int(id) >= len(d.owner) {
+			d.owner = append(d.owner, 0)
+		}
+		d.owner[id] = int32(best)
+		d.shards[best].addSubspace(id)
+		d.counters.promoted++
+	}
+}
+
+// Stats is a point-in-time snapshot of the detector's summary-table
+// sizes and epoch-engine lifetime counters.
+type Stats struct {
+	// Tick is the number of points ingested.
+	Tick uint64
+	// BaseCells and ProjectedCells are the current summary-table sizes;
+	// SummaryEntries is their sum — the quantity the epoch engine
+	// bounds on drifting streams.
+	BaseCells      int
+	ProjectedCells int
+	SummaryEntries int
+	// Sweeps is how many epoch sweeps have run.
+	Sweeps uint64
+	// EvictedProjected and EvictedBase count summaries evicted from the
+	// shard tables and the base-cell table across all sweeps.
+	EvictedProjected uint64
+	EvictedBase      uint64
+	// EvolvedActive is the current number of live self-evolving SST
+	// subspaces; Promoted and Demoted are lifetime totals.
+	EvolvedActive int
+	Promoted      uint64
+	Demoted       uint64
+}
+
+// Stats returns the current snapshot. Safe to call between
+// Process/ProcessBatch calls only.
+func (d *Detector) Stats() Stats {
+	return Stats{
+		Tick:             d.tick,
+		BaseCells:        d.BaseCells(),
+		ProjectedCells:   d.ProjectedCells(),
+		SummaryEntries:   d.BaseCells() + d.ProjectedCells(),
+		Sweeps:           d.counters.sweeps,
+		EvictedProjected: d.counters.evictedProjected,
+		EvictedBase:      d.counters.evictedBase,
+		EvolvedActive:    d.tmpl.EvolvedCount(),
+		Promoted:         d.counters.promoted,
+		Demoted:          d.counters.demoted,
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"spot/internal/core"
+	"spot/internal/sst"
 )
 
 // repEmpty marks an unused representative slot; no real cell key uses
@@ -41,29 +42,43 @@ type subspaceState struct {
 
 // shard owns an exclusive partition of the SST: the cell table, totals
 // and representatives of its subspaces. Only one goroutine ever touches
-// a shard's state, so the hot path is lock-free.
+// a shard's state, so the hot path is lock-free. Epoch sweeps and
+// evolved-subspace add/remove run on the dispatcher goroutine while the
+// workers are idle, preserving that exclusivity.
 type shard struct {
 	det  *Detector
 	id   int
 	subs []uint32 // subspace IDs owned by this shard
 
 	states []subspaceState
-	cells  map[uint64]uint32 // cell key -> index into pcs
-	pcs    []core.PCS
+	table  *core.PCSTable // cell key -> PCS, sweepable
 
 	scratch []uint8  // per-dimension interval indices of the current point
 	verdict []uint64 // per-batch verdict bitset (batch mode only)
+
+	sweepEvolved []evolvedCell // per-sweep scratch: surviving evolved-subspace cells
+}
+
+// evolvedCell is a surviving evolved-subspace cell recorded during a
+// sweep, revisited for sparse classification once its subspace's
+// average is known.
+type evolvedCell struct {
+	sid uint32
+	dc  float64
 }
 
 func newShard(d *Detector, id int) *shard {
 	return &shard{
 		det:     d,
 		id:      id,
-		cells:   make(map[uint64]uint32),
+		table:   core.NewPCSTable(),
 		scratch: make([]uint8, d.cfg.Dims),
 	}
 }
 
+// addSubspace hands the shard ownership of subspace id. Called at
+// construction for the fixed group and from the epoch path for
+// promoted evolved subspaces; never while workers are processing.
 func (s *shard) addSubspace(id uint32) {
 	s.subs = append(s.subs, id)
 	phi := s.det.grid.Phi()
@@ -81,6 +96,26 @@ func (s *shard) addSubspace(id uint32) {
 		st.invMaxDist = 1 / float64((phi-1)*size)
 	}
 	s.states = append(s.states, st)
+}
+
+// removeSubspace drops a demoted subspace: its per-subspace state goes
+// by swap-remove and every one of its cells is purged from the table so
+// a later reuse of the ID starts from nothing. Epoch-path only.
+func (s *shard) removeSubspace(id uint32) {
+	for i, sid := range s.subs {
+		if sid != id {
+			continue
+		}
+		last := len(s.subs) - 1
+		s.subs[i] = s.subs[last]
+		s.subs = s.subs[:last]
+		s.states[i] = s.states[last]
+		s.states = s.states[:last]
+		break
+	}
+	s.table.EvictIf(func(key uint64) bool {
+		return uint32(key>>core.SubspaceShift) == id
+	})
 }
 
 // processPoint folds one point observed at tick into every subspace the
@@ -103,13 +138,7 @@ func (s *shard) processPoint(point []float64, tick uint64) bool {
 			m += point[dim]
 		}
 		st.total.Touch(decay, tick, m)
-		idx, ok := s.cells[key]
-		if !ok {
-			idx = uint32(len(s.pcs))
-			s.pcs = append(s.pcs, core.PCS{Last: tick})
-			s.cells[key] = idx
-		}
-		p := &s.pcs[idx]
+		p := s.table.Get(key, tick)
 		p.Touch(decay, tick, m)
 		s.maintainReps(st, key, p.Dc, tick)
 		if st.total.Dc >= cfg.Warmup && s.outlying(st, key, p) {
@@ -137,6 +166,40 @@ func (s *shard) processBatch(jb job) {
 			s.verdict[i>>6] |= 1 << (uint(i) & 63)
 		}
 	}
+}
+
+// sweep is the shard's slice of the epoch sweep: one linear pass over
+// the cell table evicting summaries whose decayed density fell below
+// eps and accumulating per-subspace populated/total statistics. When an
+// evolver needs sparse counts, surviving evolved-subspace cells (few —
+// the fixed group dominates the table) are remembered during the same
+// pass and classified against their subspace's average afterwards, so
+// the extra work is proportional to the evolved group's cells, not the
+// table. Runs on the dispatcher goroutine with workers idle; returns
+// the eviction count.
+func (s *shard) sweep(tick uint64, eps float64, perSub []sst.SubspaceStats) int {
+	tmpl := s.det.tmpl
+	collect := s.det.cfg.Evolver != nil
+	s.sweepEvolved = s.sweepEvolved[:0]
+	evicted := s.table.Sweep(s.det.decay, tick, eps, func(key uint64, dc float64) {
+		sid := uint32(key >> core.SubspaceShift)
+		sub := &perSub[sid]
+		sub.Populated++
+		sub.TotalDc += dc
+		if collect && !tmpl.IsFixed(int(sid)) {
+			s.sweepEvolved = append(s.sweepEvolved, evolvedCell{sid: sid, dc: dc})
+		}
+	})
+	if collect {
+		ratio := s.det.cfg.SweepSparseRatio
+		for _, c := range s.sweepEvolved {
+			sub := &perSub[c.sid]
+			if c.dc < ratio*sub.TotalDc/float64(sub.Populated) {
+				sub.Sparse++
+			}
+		}
+	}
+	return evicted
 }
 
 // maintainReps keeps the k densest cells of the subspace as IkRD
@@ -167,11 +230,14 @@ func (s *shard) maintainReps(st *subspaceState, key uint64, dc float64, tick uin
 	}
 }
 
-// outlying evaluates the three PCS-derived measures for the cell the
-// current point landed in. The point is an outlier in this subspace if
-// any enabled measure falls below its threshold. Cells at or above the
-// subspace's average density can never be outlying, so the costlier
-// IRSD/IkRD evaluations are gated behind RD < 1.
+// outlying evaluates the PCS-derived measures for the cell the current
+// point landed in. The point is an outlier in this subspace if any
+// enabled measure falls below its threshold. The costlier IRSD/IkRD
+// evaluations are gated behind RD < 1 (a cell at or above the uniform
+// expectation is not sparse in their sense), but the populated-RD test
+// deliberately runs before that gate: when a subspace's mass
+// concentrates in few cells, a cell can sit at the uniform expectation
+// (RD ≥ 1) yet still be far below its populated peers.
 func (s *shard) outlying(st *subspaceState, key uint64, p *core.PCS) bool {
 	cfg := &s.det.cfg
 	// Relative Density: cell density over the expected density if the
@@ -182,6 +248,20 @@ func (s *shard) outlying(st *subspaceState, key uint64, p *core.PCS) bool {
 	rd := p.Dc * st.phiPow / st.total.Dc
 	if rd < cfg.RDThreshold {
 		return true
+	}
+	// Arity-aware RD: the same density compared to the average
+	// *populated* cell of same-arity subspaces instead of the uniform
+	// expectation, sidestepping the φ^k floor that blinds the uniform
+	// test in multi-dimensional subspaces (see Config.RDThreshold).
+	// The reference is the latest sweep's average, used undecayed:
+	// populated cells are refreshed by the live stream, so their
+	// average holds roughly steady between sweeps (for a dying
+	// subspace it overestimates, which only suppresses flags). Zero
+	// until the first sweep covering this arity.
+	if cfg.RDPopulatedThreshold > 0 {
+		if avg := s.det.popAvg[st.size]; avg > 0 && p.Dc < cfg.RDPopulatedThreshold*avg {
+			return true
+		}
 	}
 	if rd >= 1 {
 		return false
