@@ -1,4 +1,4 @@
-.PHONY: build test bench vet lint
+.PHONY: build test bench vet lint fuzz cover
 
 build:
 	go build ./...
@@ -9,10 +9,22 @@ test:
 vet:
 	go vet ./...
 
-# lint = vet + the repo's godoc discipline: every exported symbol in
-# internal/ and cmd/ must carry a doc comment (see cmd/doccheck).
-lint: vet
+# Short native-fuzzing smoke over the cell-key round-trip property; a
+# counterexample fails the run and is minimized into testdata/fuzz as a
+# permanent regression case.
+fuzz:
+	go test -run '^$$' -fuzz FuzzEncodeDecodeCell -fuzztime 10s ./internal/core
+
+# lint = vet + the repo's godoc discipline (every exported symbol in
+# internal/ and cmd/ must carry a doc comment, see cmd/doccheck) + the
+# fuzz smoke run.
+lint: vet fuzz
 	go run ./cmd/doccheck ./internal ./cmd
+
+# Coverage gate: fails when internal/... test coverage drops below the
+# checked-in threshold (scripts/coverage_threshold.txt).
+cover:
+	./scripts/coverage.sh
 
 bench:
 	./scripts/bench.sh

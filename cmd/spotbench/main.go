@@ -72,6 +72,31 @@ type evolutionResult struct {
 	Recall        float64 `json:"recall_post_promotion"`
 }
 
+// supervisedResult reports the supervised-MOGA run: the same
+// high-dimensional mix-outlier stream fed to an unsupervised-only
+// detector (TopSparse, whose per-epoch Explore budget is a needle-in-
+// haystack search at this d) and to a supervised one (TopSparse + MOGA
+// behind sst.Multi) whose MOGA group learns from confirmed-outlier
+// examples fed back between points. Recall is recorded per epoch so the
+// artifact shows how many epochs each detector needs before the planted
+// ground-truth subspace is found.
+type supervisedResult struct {
+	Dims               int       `json:"dims"`
+	Points             int       `json:"points"`
+	EpochTicks         uint64    `json:"epoch_ticks"`
+	MixDim             int       `json:"mix_dim"`
+	CandidatePairs     int       `json:"candidate_pairs"`
+	ExamplesMarked     int       `json:"examples_marked"`
+	RecallByEpochUnsup []float64 `json:"recall_by_epoch_unsupervised"`
+	RecallByEpochSup   []float64 `json:"recall_by_epoch_supervised"`
+	RecallUnsup        float64   `json:"recall_overall_unsupervised"`
+	RecallSup          float64   `json:"recall_overall_supervised"`
+	TruthFoundUnsup    bool      `json:"truth_found_unsupervised"`
+	TruthFoundByMOGA   bool      `json:"truth_found_by_moga"`
+	TruthInTopSparse   bool      `json:"truth_in_topsparse_supervised_run"`
+	MOGAPromoted       [][]int   `json:"moga_promoted_subspaces"`
+}
+
 // report is the full JSON artifact.
 type report struct {
 	Generated  string             `json:"generated"`
@@ -83,6 +108,7 @@ type report struct {
 	Ratios     map[string]float64 `json:"shard8_over_shard1"`
 	Drift      *driftResult       `json:"drift_memory"`
 	Evolution  *evolutionResult   `json:"sst_evolution"`
+	Supervised *supervisedResult  `json:"supervised"`
 }
 
 // run measures throughput for one (dims, shards) configuration.
@@ -286,6 +312,174 @@ func runEvolution() (*evolutionResult, error) {
 	}, nil
 }
 
+// runSupervised measures the supervised MOGA group end to end at a
+// dimensionality where unsupervised subspace search is a lottery:
+// C(64,2) = 2016 candidate pairs, of which only the 63 containing the
+// mix dimension reveal the planted outliers, against a TopSparse budget
+// of 4 random candidates per epoch (~12% chance per epoch of sampling
+// any truth pair). The supervised detector runs the same TopSparse plus
+// a MOGA group fed every confirmed outlier as an example; once any
+// genome touches the mix dimension the example-driven objectives pin
+// it, so the population converges within the first epochs.
+func runSupervised() (*supervisedResult, error) {
+	const (
+		d      = 64
+		mixDim = 11
+		epochs = 12
+	)
+	centerA := make([]float64, d)
+	centerB := make([]float64, d)
+	for i := range centerA {
+		centerA[i] = 0.19
+		centerB[i] = 0.81
+	}
+	gcfg := bench.GenConfig{
+		Dims:        d,
+		Centers:     [][]float64{centerA, centerB},
+		Sigma:       0.005,
+		OutlierRate: 0.02,
+		Mode:        bench.OutlierMix,
+		MixDim:      mixDim,
+		Seed:        11,
+	}
+	newTopSparse := func() (*sst.TopSparse, error) {
+		return sst.NewTopSparse(sst.TopSparseConfig{
+			Arity: 2, TopS: 2, Explore: 4, SparseRatio: 0.1, MinScore: 0.05, Seed: 1,
+		})
+	}
+	mkCfg := func(ev sst.Evolver) stream.Config {
+		cfg := stream.DefaultConfig(d)
+		cfg.MaxSubspaceDim = 1
+		cfg.Shards = 2
+		cfg.Lambda = 0.02
+		cfg.Warmup = 30
+		cfg.EpochTicks = 400
+		cfg.EvictEpsilon = 1e-4
+		cfg.RDPopulatedThreshold = 0.2
+		cfg.Evolver = ev
+		return cfg
+	}
+
+	// runOne streams the identical point sequence through one detector,
+	// optionally feeding planted outliers back as examples, and records
+	// recall per epoch window plus overall recall past the promotion +
+	// warmup horizon. The caller inspects the template before Close.
+	runOne := func(ev sst.Evolver, supervise bool) (*stream.Detector, []float64, float64, int, error) {
+		cfg := mkCfg(ev)
+		det, err := stream.New(cfg)
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		gen := bench.NewGenerator(gcfg)
+		buf := make([]float64, d)
+		measureFrom := 2*int(cfg.EpochTicks) + 100
+		var recalls []float64
+		var planted, caught, totPlanted, totCaught, marked int
+		for i := 0; i < epochs*int(cfg.EpochTicks); i++ {
+			isOut := gen.Next(buf)
+			flag := det.Process(buf)
+			if isOut {
+				if supervise {
+					det.MarkExample(buf)
+					marked++
+				}
+				planted++
+				if flag {
+					caught++
+				}
+				if i >= measureFrom {
+					totPlanted++
+					if flag {
+						totCaught++
+					}
+				}
+			}
+			if (i+1)%int(cfg.EpochTicks) == 0 {
+				r := 0.0
+				if planted > 0 {
+					r = float64(caught) / float64(planted)
+				}
+				recalls = append(recalls, r)
+				planted, caught = 0, 0
+			}
+		}
+		overall := 0.0
+		if totPlanted > 0 {
+			overall = float64(totCaught) / float64(totPlanted)
+		}
+		return det, recalls, overall, marked, nil
+	}
+
+	// containsMix reports whether a live evolved pair of the detector
+	// contains the mix dimension and passes the ownership test.
+	containsMix := func(det *stream.Detector, owns func([]uint16) bool) bool {
+		for _, id := range det.Template().EvolvedIDs(nil) {
+			dims := det.Template().Dims(int(id))
+			for _, dim := range dims {
+				if dim == uint16(mixDim) && (owns == nil || owns(dims)) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	tsU, err := newTopSparse()
+	if err != nil {
+		return nil, err
+	}
+	detU, recallsU, overallU, _, err := runOne(tsU, false)
+	if err != nil {
+		return nil, err
+	}
+	defer detU.Close()
+
+	tsS, err := newTopSparse()
+	if err != nil {
+		return nil, err
+	}
+	moga, err := sst.NewMOGA(sst.MOGAConfig{
+		MinArity: 2, MaxArity: 2, PopSize: 24, Generations: 6, TopS: 2,
+		SparseRatio: 0.1, MinCoverage: 0.6, MinSparsity: 0.5, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	detS, recallsS, overallS, marked, err := runOne(sst.Multi{tsS, moga}, true)
+	if err != nil {
+		return nil, err
+	}
+	defer detS.Close()
+
+	var mogaSets [][]int
+	for _, id := range detS.Template().EvolvedIDs(nil) {
+		dims := detS.Template().Dims(int(id))
+		if moga.Owns(dims) {
+			set := make([]int, len(dims))
+			for i, dim := range dims {
+				set[i] = int(dim)
+			}
+			mogaSets = append(mogaSets, set)
+		}
+	}
+	return &supervisedResult{
+		Dims:               d,
+		Points:             epochs * 400,
+		EpochTicks:         400,
+		MixDim:             mixDim,
+		CandidatePairs:     d * (d - 1) / 2,
+		ExamplesMarked:     marked,
+		RecallByEpochUnsup: recallsU,
+		RecallByEpochSup:   recallsS,
+		RecallUnsup:        overallU,
+		RecallSup:          overallS,
+		TruthFoundUnsup:    containsMix(detU, nil),
+		TruthFoundByMOGA:   containsMix(detS, moga.Owns),
+		TruthInTopSparse:   containsMix(detS, tsS.Owns),
+		MOGAPromoted:       mogaSets,
+	}, nil
+}
+
 // gitSHA resolves the current commit, preferring the flag value; falls
 // back to asking git, then to "unknown" so the artifact never lies by
 // omission.
@@ -358,6 +552,13 @@ func main() {
 	rep.Evolution = er
 	fmt.Printf("evolution d=%d: promoted=%d demoted=%d recall=%.3f (%d/%d)\n",
 		er.Dims, er.Promoted, er.Demoted, er.Recall, er.Caught, er.Planted)
+	sr, err := runSupervised()
+	if err != nil {
+		fail(err)
+	}
+	rep.Supervised = sr
+	fmt.Printf("supervised d=%d: recall %.3f (moga truth=%v) vs unsupervised %.3f (truth=%v), %d examples\n",
+		sr.Dims, sr.RecallSup, sr.TruthFoundByMOGA, sr.RecallUnsup, sr.TruthFoundUnsup, sr.ExamplesMarked)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

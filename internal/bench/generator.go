@@ -67,8 +67,13 @@ type GenConfig struct {
 	// arity).
 	OutlierDims int
 	// MixDim is the dimension an OutlierMix outlier borrows from a
-	// second cluster.
+	// second cluster. Ignored when MixDims is set.
 	MixDim int
+	// MixDims optionally borrows several dimensions at once: every
+	// listed dimension of a mix outlier comes from the second cluster,
+	// so the anomaly only shows in subspaces combining a borrowed with
+	// a home dimension. Supersedes MixDim when non-empty.
+	MixDims []int
 	// DriftPeriod, when positive, relocates every cluster center to a
 	// fresh random position after each DriftPeriod generated points —
 	// jump drift. The summaries of abandoned regions are never touched
@@ -96,10 +101,12 @@ func DefaultGenConfig(d int) GenConfig {
 // Generator produces a reproducible synthetic stream. Points live in
 // the unit box [0,1)^d. Not safe for concurrent use.
 type Generator struct {
-	cfg     GenConfig
-	rng     *rand.Rand
-	centers [][]float64
-	count   int
+	cfg      GenConfig
+	rng      *rand.Rand
+	centers  [][]float64
+	count    int
+	mixDims  []int
+	lastDims []int
 }
 
 // NewGenerator builds a generator, placing cluster centers uniformly in
@@ -108,6 +115,10 @@ type Generator struct {
 func NewGenerator(cfg GenConfig) *Generator {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := &Generator{cfg: cfg, rng: rng}
+	g.mixDims = cfg.MixDims
+	if len(g.mixDims) == 0 {
+		g.mixDims = []int{cfg.MixDim}
+	}
 	if len(cfg.Centers) > 0 {
 		for _, c := range cfg.Centers {
 			center := make([]float64, cfg.Dims)
@@ -134,7 +145,9 @@ func (g *Generator) placeCenters() {
 }
 
 // Next fills buf (length ≥ Dims) with the next point and reports
-// whether it is a planted projected outlier. It does not allocate.
+// whether it is a planted projected outlier. It does not allocate
+// beyond the first planted outlier's ground-truth record (see
+// LastOutlierDims).
 func (g *Generator) Next(buf []float64) bool {
 	cfg := &g.cfg
 	if cfg.DriftPeriod > 0 && g.count > 0 && g.count%cfg.DriftPeriod == 0 {
@@ -149,19 +162,23 @@ func (g *Generator) Next(buf []float64) bool {
 	if g.rng.Float64() >= cfg.OutlierRate {
 		return false
 	}
+	g.lastDims = g.lastDims[:0]
 	if cfg.Mode == OutlierMix {
 		if len(g.centers) < 2 {
 			return false // mix outliers need a second cluster to borrow from
 		}
-		// Borrow MixDim from another cluster: the coordinate lands in
-		// that cluster's dense interval, so no 1-D projection is
-		// suspicious — only the joint cells pairing MixDim with the
-		// home cluster's other dimensions are empty.
+		// Borrow the mix dimensions from another cluster: each borrowed
+		// coordinate lands in that cluster's dense interval, so no 1-D
+		// projection is suspicious — only the joint cells pairing a
+		// borrowed with a home dimension are empty.
 		bi := g.rng.Intn(len(g.centers) - 1)
 		if bi >= ci {
 			bi++
 		}
-		buf[cfg.MixDim] = clamp01(g.centers[bi][cfg.MixDim] + cfg.Sigma*g.rng.NormFloat64())
+		for _, dim := range g.mixDims {
+			buf[dim] = clamp01(g.centers[bi][dim] + cfg.Sigma*g.rng.NormFloat64())
+			g.lastDims = append(g.lastDims, dim)
+		}
 		return true
 	}
 	// Displace a few dimensions to coordinates far from every cluster
@@ -170,9 +187,19 @@ func (g *Generator) Next(buf []float64) bool {
 	for k := 0; k < cfg.OutlierDims; k++ {
 		dim := g.rng.Intn(cfg.Dims)
 		buf[dim] = g.farCoordinate(dim)
+		g.lastDims = append(g.lastDims, dim)
 	}
 	return true
 }
+
+// LastOutlierDims returns the ground-truth outlying dimensions of the
+// most recent planted outlier — the dimensions Next displaced (in
+// OutlierDisplace mode, possibly with repeats) or borrowed from the
+// second cluster (mix modes). The slice is reused by the next planted
+// outlier; callers that retain it must copy. It lets supervised
+// benchmarks and tests check promoted subspaces against the planted
+// truth, the "labeled exemplar" half of the generator's output.
+func (g *Generator) LastOutlierDims() []int { return g.lastDims }
 
 // farCoordinate draws a coordinate in [0,1) at distance ≥ 0.12 from
 // every cluster center in the given dimension.

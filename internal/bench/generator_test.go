@@ -183,3 +183,77 @@ func TestFillCountsPlanted(t *testing.T) {
 		t.Error("no outliers planted at rate 0.1")
 	}
 }
+
+// TestGeneratorMixDimsGroundTruth: with MixDims set, every borrowed
+// dimension comes from the other cluster and LastOutlierDims reports
+// exactly the planted ground truth.
+func TestGeneratorMixDimsGroundTruth(t *testing.T) {
+	cfg := GenConfig{
+		Dims:        8,
+		Centers:     [][]float64{{0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2}, {0.8, 0.8, 0.8, 0.8, 0.8, 0.8, 0.8, 0.8}},
+		Sigma:       0.01,
+		OutlierRate: 0.1,
+		Mode:        OutlierMix,
+		MixDims:     []int{2, 5},
+		Seed:        9,
+	}
+	g := NewGenerator(cfg)
+	buf := make([]float64, 8)
+	outliers := 0
+	for i := 0; i < 2000; i++ {
+		if !g.Next(buf) {
+			continue
+		}
+		outliers++
+		dims := g.LastOutlierDims()
+		if len(dims) != 2 || dims[0] != 2 || dims[1] != 5 {
+			t.Fatalf("LastOutlierDims = %v, want [2 5]", dims)
+		}
+		home := 0.2
+		if math.Abs(buf[0]-0.8) < math.Abs(buf[0]-0.2) {
+			home = 0.8
+		}
+		for _, dim := range dims {
+			if math.Abs(buf[dim]-home) < 0.3 {
+				t.Fatalf("mix dim %d = %v matches home cluster %v — not borrowed", dim, buf[dim], home)
+			}
+		}
+	}
+	if outliers < 100 {
+		t.Fatalf("only %d mix outliers planted in 2000 points", outliers)
+	}
+}
+
+// TestGeneratorDisplaceGroundTruth: in OutlierDisplace mode the
+// reported ground-truth dimensions are exactly the displaced ones.
+func TestGeneratorDisplaceGroundTruth(t *testing.T) {
+	cfg := DefaultGenConfig(10)
+	cfg.OutlierRate = 0.1
+	g := NewGenerator(cfg)
+	buf := make([]float64, 10)
+	checked := 0
+	for i := 0; i < 2000; i++ {
+		if !g.Next(buf) {
+			continue
+		}
+		dims := g.LastOutlierDims()
+		if len(dims) == 0 || len(dims) > cfg.OutlierDims {
+			t.Fatalf("LastOutlierDims = %v, want 1..%d displaced dims", dims, cfg.OutlierDims)
+		}
+		for _, dim := range dims {
+			minDist := math.Inf(1)
+			for _, c := range g.centers {
+				if d := math.Abs(buf[dim] - c[dim]); d < minDist {
+					minDist = d
+				}
+			}
+			if minDist < 0.12 {
+				t.Fatalf("reported dim %d not displaced (dist %.3f)", dim, minDist)
+			}
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d outliers checked", checked)
+	}
+}

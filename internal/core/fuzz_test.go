@@ -1,0 +1,54 @@
+package core
+
+import "testing"
+
+// FuzzEncodeDecodeCell proves the packed cell-key layout is a lossless
+// round-trip for every valid (subspace ID, arity, coordinates) triple:
+// DecodeCell recovers exactly what EncodeCell packed, CoordAt agrees
+// with the full decode at every position, and re-encoding the decoded
+// parts reproduces the original key bit for bit. The fuzzer drives raw
+// values; the target folds them into the valid domain (ID ≤
+// MaxSubspaceID, arity in [1, MaxSubspaceDims]) the same way template
+// construction guarantees it, so any failure is a real layout bug.
+func FuzzEncodeDecodeCell(f *testing.F) {
+	// Seed corpus: domain corners — zero everything, max everything,
+	// single-dimension keys, coordinate bytes that could bleed across
+	// the per-dimension byte lanes if the shifts were wrong.
+	f.Add(uint32(0), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint32(MaxSubspaceID), uint8(MaxSubspaceDims), uint8(255), uint8(255), uint8(255), uint8(255), uint8(255))
+	f.Add(uint32(1), uint8(1), uint8(255), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint32(123456), uint8(3), uint8(1), uint8(128), uint8(7), uint8(0), uint8(0))
+	f.Add(uint32(MaxSubspaceID), uint8(2), uint8(0), uint8(255), uint8(0), uint8(0), uint8(0))
+	f.Add(uint32(1<<24), uint8(5), uint8(9), uint8(8), uint8(7), uint8(6), uint8(5)) // ID overflows into the fold
+
+	f.Fuzz(func(t *testing.T, id uint32, arity, c0, c1, c2, c3, c4 uint8) {
+		id &= MaxSubspaceID
+		n := int(arity)%MaxSubspaceDims + 1
+		coords := [MaxSubspaceDims]uint8{c0, c1, c2, c3, c4}
+
+		key := EncodeCell(id, coords[:n])
+		var dec [MaxSubspaceDims]uint8
+		gotID := DecodeCell(key, n, dec[:n])
+		if gotID != id {
+			t.Fatalf("DecodeCell(EncodeCell(%d, %v)) returned ID %d", id, coords[:n], gotID)
+		}
+		for j := 0; j < n; j++ {
+			if dec[j] != coords[j] {
+				t.Fatalf("coordinate %d: decoded %d, packed %d (key %#x)", j, dec[j], coords[j], key)
+			}
+			if got := CoordAt(key, j); got != coords[j] {
+				t.Fatalf("CoordAt(%#x, %d) = %d, want %d", key, j, got, coords[j])
+			}
+		}
+		// Dimensions beyond the arity must read as zero: the key has no
+		// room for stray state that could collide distinct cells.
+		for j := n; j < MaxSubspaceDims; j++ {
+			if got := CoordAt(key, j); got != 0 {
+				t.Fatalf("CoordAt(%#x, %d) = %d beyond arity %d, want 0", key, j, got, n)
+			}
+		}
+		if rekey := EncodeCell(gotID, dec[:n]); rekey != key {
+			t.Fatalf("re-encode mismatch: %#x vs %#x", rekey, key)
+		}
+	})
+}

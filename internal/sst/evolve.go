@@ -20,6 +20,16 @@ type BaseCell struct {
 	Dc     float64
 }
 
+// Example is one caller-confirmed outlier exemplar as retained by the
+// detector: the per-dimension interval indices of the full data space
+// the point fell into, and the stream tick it was marked at. Supervised
+// evolvers (MOGA) mine examples for the subspaces in which they look
+// maximally anomalous.
+type Example struct {
+	Coords []uint8
+	Tick   uint64
+}
+
 // SubspaceStats is what the epoch sweep records for one live SST
 // subspace: how many of its cells are populated, their total decayed
 // density, and how many are sparse (density below the detector's
@@ -47,6 +57,11 @@ type EpochStats struct {
 	// Subspaces is indexed by subspace ID; entries for inactive slots
 	// are zero. Only populated cells that survived eviction count.
 	Subspaces []SubspaceStats
+	// Examples are the labeled outlier exemplars retained by the
+	// detector at sweep time (newest last). Empty unless the caller
+	// marked confirmed outliers via the detector's feedback API;
+	// unsupervised evolvers ignore it.
+	Examples []Example
 }
 
 // Evolution is an Evolver's verdict for one epoch: dimension sets to
@@ -62,9 +77,53 @@ type Evolution struct {
 // at every epoch boundary (hot path idle) with the sweep's summary
 // snapshot, it proposes template mutations. Implementations must be
 // deterministic functions of their own state and the snapshot so that
-// verdicts stay independent of the shard count.
+// verdicts stay independent of the shard count. An evolver manages only
+// the subspaces it promoted itself (tracked by dimension-set signature),
+// so several evolver groups — e.g. the unsupervised TopSparse and the
+// supervised MOGA — can share one template via Multi without demoting
+// each other's members.
 type Evolver interface {
 	Evolve(t *Template, stats *EpochStats) Evolution
+}
+
+// Multi composes several evolver groups into one Evolver: each epoch it
+// consults the sub-evolvers in order and concatenates their verdicts.
+// Because every evolver only demotes and budgets the subspaces it
+// promoted itself, the groups coexist in the template — the paper's SST
+// holds the unsupervised top-sparse group and the supervised
+// example-driven group side by side. If two groups propose the same
+// dimension set in one epoch, the earlier evolver wins: the duplicate
+// is dropped from the merged verdict and the later evolver's ownership
+// claim is revoked, so exactly one group ever manages a subspace.
+type Multi []Evolver
+
+// disowner is implemented by evolvers that track ownership of their
+// promotions; Multi uses it to revoke the claim of a proposal it drops
+// as a same-epoch duplicate of an earlier group's.
+type disowner interface {
+	disown(dims []uint16)
+}
+
+// Evolve implements Evolver by merging the sub-evolvers' verdicts.
+func (m Multi) Evolve(t *Template, stats *EpochStats) Evolution {
+	var ev Evolution
+	seen := map[string]bool{}
+	for _, e := range m {
+		sub := e.Evolve(t, stats)
+		ev.Demote = append(ev.Demote, sub.Demote...)
+		for _, p := range sub.Promote {
+			if s := sig(p); seen[s] {
+				if d, ok := e.(disowner); ok {
+					d.disown(p)
+				}
+				continue
+			} else {
+				seen[s] = true
+			}
+			ev.Promote = append(ev.Promote, p)
+		}
+	}
+	return ev
 }
 
 // TopSparseConfig parameterizes the unsupervised top-sparse evolver.
@@ -107,11 +166,12 @@ type TopSparseConfig struct {
 // Not safe for concurrent use; the detector calls it from the epoch
 // path only.
 type TopSparse struct {
-	cfg  TopSparseConfig
-	rng  *rand.Rand
-	comb []uint16
-	hist map[uint64]float64
-	ids  []uint32
+	cfg   TopSparseConfig
+	rng   *rand.Rand
+	comb  []uint16
+	hist  map[uint64]float64
+	ids   []uint32
+	owned map[string]bool // signatures of this evolver's own promotions
 }
 
 // NewTopSparse validates cfg, applies defaults, and returns the
@@ -139,12 +199,23 @@ func NewTopSparse(cfg TopSparseConfig) (*TopSparse, error) {
 		cfg.MinScore = 0.02
 	}
 	return &TopSparse{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		comb: make([]uint16, cfg.Arity),
-		hist: make(map[uint64]float64),
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		comb:  make([]uint16, cfg.Arity),
+		hist:  make(map[uint64]float64),
+		owned: make(map[string]bool),
 	}, nil
 }
+
+// Owns reports whether the evolver considers the given dimension set one
+// of its own promotions (proposed by it and not since demoted). Foreign
+// evolved subspaces — another group's, or promoted directly by the
+// caller — are never demoted by this evolver and do not consume its
+// TopS budget.
+func (e *TopSparse) Owns(dims []uint16) bool { return e.owned[sig(dims)] }
+
+// disown implements the Multi duplicate-resolution hook.
+func (e *TopSparse) disown(dims []uint16) { delete(e.owned, sig(dims)) }
 
 // candidate is a scored dimension set.
 type candidate struct {
@@ -156,18 +227,24 @@ type candidate struct {
 func (e *TopSparse) Evolve(t *Template, stats *EpochStats) Evolution {
 	var ev Evolution
 
-	// Demote members whose swept cells no longer show sparse structure:
-	// either the subspace went entirely stale (every cell evicted) or
-	// its sparse fraction fell below the floor.
+	// Demote own members whose swept cells no longer show sparse
+	// structure: either the subspace went entirely stale (every cell
+	// evicted) or its sparse fraction fell below the floor. Evolved
+	// subspaces promoted by another group are left alone.
 	e.ids = t.EvolvedIDs(e.ids[:0])
 	live := 0
 	for _, id := range e.ids {
+		sg := sig(t.Dims(int(id)))
+		if !e.owned[sg] {
+			continue
+		}
 		s := SubspaceStats{}
 		if int(id) < len(stats.Subspaces) {
 			s = stats.Subspaces[id]
 		}
 		if s.Populated == 0 || float64(s.Sparse)/float64(s.Populated) < e.cfg.MinScore {
 			ev.Demote = append(ev.Demote, id)
+			delete(e.owned, sg)
 			continue
 		}
 		live++
@@ -221,6 +298,7 @@ func (e *TopSparse) Evolve(t *Template, stats *EpochStats) Evolution {
 			continue
 		}
 		ev.Promote = append(ev.Promote, c.dims)
+		e.owned[sig(c.dims)] = true
 		room--
 	}
 	return ev

@@ -147,34 +147,60 @@ func TestTopSparsePromotesSparsePair(t *testing.T) {
 	}
 }
 
-// TestTopSparseRespectsCapacity: with the evolved group full and
-// healthy, the evolver proposes nothing even when candidates qualify.
+// TestTopSparseRespectsCapacity: with the evolver's OWN group full and
+// healthy it proposes nothing even when candidates qualify, while
+// foreign evolved subspaces — promoted by another evolver group or
+// directly by the caller — neither consume its TopS budget nor get
+// demoted by it, no matter how stale their swept statistics look.
 func TestTopSparseRespectsCapacity(t *testing.T) {
 	tmpl, err := NewFixed(4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := NewTopSparse(TopSparseConfig{Arity: 2, TopS: 1})
+	ev, err := NewTopSparse(TopSparseConfig{Arity: 2, TopS: 1, Explore: 64, SparseRatio: 0.1, MinScore: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := tmpl.Promote([]uint16{0, 1})
-	if err != nil {
-		t.Fatal(err)
+	baseCells := []BaseCell{
+		{Coords: []uint8{1, 1, 1, 1}, Dc: 50},
+		{Coords: []uint8{6, 6, 6, 6}, Dc: 50},
+		{Coords: []uint8{1, 1, 1, 6}, Dc: 1},
 	}
 	stats := &EpochStats{
 		Tick:      100,
 		BaseTotal: 101,
-		BaseCells: []BaseCell{
-			{Coords: []uint8{1, 1, 1, 1}, Dc: 50},
-			{Coords: []uint8{6, 6, 6, 6}, Dc: 50},
-			{Coords: []uint8{1, 1, 1, 6}, Dc: 1},
-		},
+		BaseCells: baseCells,
 		Subspaces: make([]SubspaceStats, tmpl.Count()),
 	}
-	stats.Subspaces[id] = SubspaceStats{Populated: 3, TotalDc: 101, Sparse: 1}
 	out := ev.Evolve(tmpl, stats)
-	if len(out.Promote) != 0 || len(out.Demote) != 0 {
-		t.Fatalf("full healthy group mutated: %+v", out)
+	if len(out.Promote) != 1 {
+		t.Fatalf("promotions = %v, want exactly 1 to fill TopS", out.Promote)
+	}
+	own, err := tmpl.Promote(out.Promote[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := tmpl.Promote([]uint16{0, 1}) // e.g. another group's member
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats2 := &EpochStats{
+		Tick:      200,
+		BaseTotal: 101,
+		BaseCells: baseCells,
+		Subspaces: make([]SubspaceStats, tmpl.Count()),
+	}
+	stats2.Subspaces[own] = SubspaceStats{Populated: 3, TotalDc: 101, Sparse: 1}     // healthy own member
+	stats2.Subspaces[foreign] = SubspaceStats{Populated: 2, TotalDc: 100, Sparse: 0} // stale, but foreign
+	out2 := ev.Evolve(tmpl, stats2)
+	if len(out2.Promote) != 0 || len(out2.Demote) != 0 {
+		t.Fatalf("full healthy own group mutated the template: %+v", out2)
+	}
+	if !ev.Owns(out.Promote[0]) {
+		t.Error("evolver does not own its own promotion")
+	}
+	if ev.Owns([]uint16{0, 1}) {
+		t.Error("evolver claims ownership of a foreign subspace")
 	}
 }

@@ -1,0 +1,608 @@
+// moga.go implements the supervised self-evolving SST group of the
+// paper: a multi-objective genetic (MOGA-style) search over the
+// subspace lattice, driven by labeled outlier examples the caller feeds
+// back between batches. Where the unsupervised TopSparse group promotes
+// whatever subspaces look globally sparsest, the supervised group hunts
+// the subspaces in which the *analyst's confirmed outliers* look
+// maximally anomalous — the two notions only coincide when the
+// interesting outliers happen to dominate the stream's sparse
+// structure, which on real workloads they rarely do.
+//
+// The search works on a population of candidate subspaces encoded as
+// dimension bitsets. Each epoch the population is re-scored against the
+// sweep's base-cell snapshot with two objectives:
+//
+//   - sparsity: how far below the projection's average populated-cell
+//     density the examples' cells sit (an RD-style measure, 1 for an
+//     example in an empty cell, 0 for one at or above the average);
+//   - coverage: the fraction of examples landing in sparse cells of the
+//     projection (density below SparseRatio × the average).
+//
+// Candidates are ranked by Pareto dominance (Fonseca–Fleming MOGA
+// ranking: rank = number of dominating individuals), bred with uniform
+// set crossover and add/remove/swap mutation for a configurable number
+// of generations per epoch, and the elite front — rank-0 candidates
+// clearing both objective floors — is promoted through the ordinary
+// Evolver promote/demote machinery, capped at TopS live members.
+package sst
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"slices"
+	"sort"
+
+	"spot/internal/core"
+)
+
+// MOGAConfig parameterizes the supervised genetic subspace search.
+type MOGAConfig struct {
+	// MinArity and MaxArity bound the arity of candidate subspaces;
+	// both must lie in [2, core.MaxSubspaceDims] (arity-1 subspaces are
+	// the fixed group's job). Defaults: 2 and 3.
+	MinArity, MaxArity int
+	// PopSize is the number of candidate subspaces kept in the
+	// population across epochs. 0 defaults to 32.
+	PopSize int
+	// Generations is how many selection/crossover/mutation rounds run
+	// per epoch. The per-epoch evaluation budget is roughly
+	// PopSize × (Generations+1) projections of the base-cell snapshot.
+	// 0 defaults to 8.
+	Generations int
+	// TopS caps the supervised group: at most TopS of this evolver's
+	// subspaces are live at once.
+	TopS int
+	// CrossoverP is the probability an offspring is bred from two
+	// parents rather than cloned from one. 0 defaults to 0.9.
+	CrossoverP float64
+	// MutationP is the per-offspring probability of a mutation
+	// (add/remove/swap of one dimension). 0 defaults to 0.3.
+	MutationP float64
+	// Immigrants is how many fresh random genomes join each
+	// generation's offspring, keeping exploration alive once the
+	// population converges. 0 defaults to 2; -1 disables.
+	Immigrants int
+	// SparseRatio classifies a projected cell as sparse (for the
+	// coverage objective) when its density is below SparseRatio times
+	// the projection's average populated-cell density. 0 defaults to
+	// 0.1.
+	SparseRatio float64
+	// MinCoverage and MinSparsity are the promotion floors on the two
+	// objectives: only candidates with coverage ≥ MinCoverage and
+	// sparsity ≥ MinSparsity may enter the template. Defaults: 0.5 and
+	// 0.3.
+	MinCoverage, MinSparsity float64
+	// DemoteScore is the demotion floor, with the same semantics as
+	// TopSparseConfig.MinScore: a member whose swept sparse-cell
+	// fraction drops below it (or whose cells were all evicted) is
+	// demoted. 0 defaults to 0.02.
+	DemoteScore float64
+	// Seed fixes the genetic-search RNG so runs are reproducible.
+	Seed int64
+}
+
+// MOGA is the supervised evolver. Not safe for concurrent use; the
+// detector calls it from the epoch path only. Its decisions are a
+// deterministic function of its seed and the sweep snapshots it has
+// seen, so — like every Evolver — verdicts are independent of the
+// detector's shard count.
+type MOGA struct {
+	cfg      MOGAConfig
+	rng      *rand.Rand
+	d        int // data-space dimensionality, fixed at first Evolve
+	maxArity int // cfg.MaxArity clamped to d, fixed alongside it
+	pop      []genome
+	next     []genome // offspring + merged-selection scratch
+	owned    map[string]bool
+	hist     map[uint64]float64
+	ids      []uint32
+}
+
+// genome is one candidate subspace: its member dimensions as a bitset
+// over the data space, the cached sorted member list, and the fitness
+// of the last evaluation.
+type genome struct {
+	bits     []uint64
+	dims     []uint16
+	sparsity float64
+	coverage float64
+	valid    bool // objectives are meaningful (projection had contrast)
+	rank     int  // MOGA Pareto rank: number of dominating individuals
+	crowd    float64
+}
+
+// NewMOGA validates cfg, applies defaults, and returns the evolver.
+func NewMOGA(cfg MOGAConfig) (*MOGA, error) {
+	if cfg.MinArity == 0 {
+		cfg.MinArity = 2
+	}
+	if cfg.MaxArity == 0 {
+		cfg.MaxArity = 3
+	}
+	if cfg.MinArity < 2 || cfg.MaxArity > core.MaxSubspaceDims || cfg.MinArity > cfg.MaxArity {
+		return nil, fmt.Errorf("sst: MOGA arity bounds [%d,%d] must satisfy 2 ≤ min ≤ max ≤ %d",
+			cfg.MinArity, cfg.MaxArity, core.MaxSubspaceDims)
+	}
+	if cfg.PopSize == 0 {
+		cfg.PopSize = 32
+	}
+	if cfg.PopSize < 4 {
+		return nil, fmt.Errorf("sst: MOGA PopSize must be ≥ 4, got %d", cfg.PopSize)
+	}
+	if cfg.Generations == 0 {
+		cfg.Generations = 8
+	}
+	if cfg.Generations < 1 {
+		return nil, fmt.Errorf("sst: MOGA Generations must be positive, got %d", cfg.Generations)
+	}
+	if cfg.TopS < 1 {
+		return nil, fmt.Errorf("sst: MOGA TopS must be positive, got %d", cfg.TopS)
+	}
+	if cfg.CrossoverP == 0 {
+		cfg.CrossoverP = 0.9
+	}
+	if cfg.MutationP == 0 {
+		cfg.MutationP = 0.3
+	}
+	if cfg.CrossoverP < 0 || cfg.CrossoverP > 1 || cfg.MutationP < 0 || cfg.MutationP > 1 {
+		return nil, fmt.Errorf("sst: MOGA CrossoverP/MutationP must be probabilities, got %g/%g",
+			cfg.CrossoverP, cfg.MutationP)
+	}
+	switch {
+	case cfg.Immigrants == 0:
+		cfg.Immigrants = 2
+	case cfg.Immigrants < 0:
+		cfg.Immigrants = 0
+	}
+	if cfg.SparseRatio == 0 {
+		cfg.SparseRatio = 0.1
+	}
+	if cfg.SparseRatio < 0 || cfg.SparseRatio >= 1 {
+		return nil, fmt.Errorf("sst: MOGA SparseRatio must be in (0,1), got %g", cfg.SparseRatio)
+	}
+	if cfg.MinCoverage == 0 {
+		cfg.MinCoverage = 0.5
+	}
+	if cfg.MinSparsity == 0 {
+		cfg.MinSparsity = 0.3
+	}
+	if cfg.MinCoverage < 0 || cfg.MinCoverage > 1 || cfg.MinSparsity < 0 || cfg.MinSparsity > 1 {
+		return nil, fmt.Errorf("sst: MOGA objective floors must be in [0,1], got coverage %g / sparsity %g",
+			cfg.MinCoverage, cfg.MinSparsity)
+	}
+	if cfg.DemoteScore == 0 {
+		cfg.DemoteScore = 0.02
+	}
+	return &MOGA{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		owned: make(map[string]bool),
+		hist:  make(map[uint64]float64),
+	}, nil
+}
+
+// Owns reports whether the evolver considers the given dimension set
+// one of its own promotions (proposed by it and not since demoted).
+func (m *MOGA) Owns(dims []uint16) bool { return m.owned[sig(dims)] }
+
+// disown implements the Multi duplicate-resolution hook.
+func (m *MOGA) disown(dims []uint16) { delete(m.owned, sig(dims)) }
+
+// Evolve implements Evolver: demote stale owned members, then run the
+// genetic search against the snapshot's examples and promote the elite
+// front into the free slots of the supervised group's budget.
+func (m *MOGA) Evolve(t *Template, stats *EpochStats) Evolution {
+	var ev Evolution
+	m.ids = t.EvolvedIDs(m.ids[:0])
+	live := 0
+	for _, id := range m.ids {
+		sg := sig(t.Dims(int(id)))
+		if !m.owned[sg] {
+			continue
+		}
+		s := SubspaceStats{}
+		if int(id) < len(stats.Subspaces) {
+			s = stats.Subspaces[id]
+		}
+		if s.Populated == 0 || float64(s.Sparse)/float64(s.Populated) < m.cfg.DemoteScore {
+			ev.Demote = append(ev.Demote, id)
+			delete(m.owned, sg)
+			continue
+		}
+		live++
+	}
+
+	// No labeled guidance or no surviving structure to project: the
+	// supervised search has nothing to optimize against this epoch.
+	if len(stats.Examples) == 0 || len(stats.BaseCells) == 0 {
+		return ev
+	}
+	d := t.SpaceDims()
+	if d < m.cfg.MinArity {
+		return ev
+	}
+	if m.d == 0 {
+		m.d = d
+		// Clamp the arity band to the data space: in a d-dimensional
+		// space no genome can grow beyond d set bits, and every
+		// add/remove helper below relies on this bound to terminate.
+		m.maxArity = m.cfg.MaxArity
+		if m.maxArity > d {
+			m.maxArity = d
+		}
+		m.pop = make([]genome, m.cfg.PopSize)
+		for i := range m.pop {
+			m.randomize(&m.pop[i])
+		}
+	}
+
+	for i := range m.pop {
+		m.eval(&m.pop[i], stats)
+	}
+	m.rank(m.pop)
+	for g := 0; g < m.cfg.Generations; g++ {
+		m.generation(stats)
+	}
+
+	room := m.cfg.TopS - live
+	if room <= 0 {
+		return ev
+	}
+	// Elite order: Pareto rank, then crowding (spread first), then the
+	// lexicographically smaller dimension set so promotion is
+	// deterministic.
+	order := make([]int, len(m.pop))
+	for i := range order {
+		order[i] = i
+	}
+	sortByFitness(m.pop, order)
+	for _, i := range order {
+		if room == 0 {
+			break
+		}
+		g := &m.pop[i]
+		if !g.valid || g.rank != 0 || g.coverage < m.cfg.MinCoverage || g.sparsity < m.cfg.MinSparsity {
+			continue
+		}
+		if _, in := t.Contains(g.dims); in {
+			continue
+		}
+		dup := false
+		for _, p := range ev.Promote {
+			if slices.Equal(p, g.dims) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		set := append([]uint16(nil), g.dims...)
+		ev.Promote = append(ev.Promote, set)
+		m.owned[sig(set)] = true
+		room--
+	}
+	return ev
+}
+
+// eval scores one genome against the snapshot: project the base cells
+// onto its dimensions, then measure how sparse the examples' projected
+// cells are (sparsity) and how many of them fall below the sparse-cell
+// ratio (coverage). A projection with fewer than two populated cells
+// has no contrast and is invalid.
+func (m *MOGA) eval(g *genome, stats *EpochStats) {
+	g.sparsity, g.coverage, g.valid = 0, 0, false
+	clear(m.hist)
+	total := 0.0
+	for i := range stats.BaseCells {
+		bc := &stats.BaseCells[i]
+		var key uint64
+		for j, dim := range g.dims {
+			key |= uint64(bc.Coords[dim]) << (uint(j) * core.CoordBits)
+		}
+		m.hist[key] += bc.Dc
+		total += bc.Dc
+	}
+	if len(m.hist) < 2 || total <= 0 {
+		return
+	}
+	avg := total / float64(len(m.hist))
+	sumSp, covered := 0.0, 0
+	for i := range stats.Examples {
+		ex := &stats.Examples[i]
+		var key uint64
+		for j, dim := range g.dims {
+			key |= uint64(ex.Coords[dim]) << (uint(j) * core.CoordBits)
+		}
+		dc := m.hist[key] // 0 when the example's cell is empty
+		if sp := 1 - dc/avg; sp > 0 {
+			sumSp += sp
+		}
+		if dc < m.cfg.SparseRatio*avg {
+			covered++
+		}
+	}
+	n := float64(len(stats.Examples))
+	g.sparsity = sumSp / n
+	g.coverage = float64(covered) / n
+	g.valid = true
+}
+
+// generation breeds one offspring cohort (tournament selection, uniform
+// set crossover, mutation, random immigrants), evaluates it, and keeps
+// the best PopSize of parents ∪ offspring — an elitist (μ+λ) step.
+func (m *MOGA) generation(stats *EpochStats) {
+	m.next = m.next[:0]
+	for len(m.next) < m.cfg.PopSize {
+		m.next = append(m.next, genome{})
+		child := &m.next[len(m.next)-1]
+		a := m.tournament()
+		if m.rng.Float64() < m.cfg.CrossoverP {
+			b := m.tournament()
+			m.crossover(a, b, child)
+		} else {
+			m.clone(a, child)
+		}
+		if m.rng.Float64() < m.cfg.MutationP {
+			m.mutate(child)
+		}
+	}
+	for i := 0; i < m.cfg.Immigrants; i++ {
+		m.next = append(m.next, genome{})
+		m.randomize(&m.next[len(m.next)-1])
+	}
+	for i := range m.next {
+		m.eval(&m.next[i], stats)
+	}
+
+	merged := append(m.next, m.pop...)
+	m.rank(merged)
+	order := make([]int, len(merged))
+	for i := range order {
+		order[i] = i
+	}
+	sortByFitness(merged, order)
+	survivors := make([]genome, m.cfg.PopSize)
+	for i := range survivors {
+		survivors[i] = merged[order[i]]
+	}
+	m.next = m.pop[:0] // recycle the old population as next scratch
+	m.pop = survivors
+	m.rank(m.pop)
+}
+
+// tournament returns the fitter of two uniformly drawn population
+// members.
+func (m *MOGA) tournament() *genome {
+	a := &m.pop[m.rng.Intn(len(m.pop))]
+	b := &m.pop[m.rng.Intn(len(m.pop))]
+	if fitter(b, a) {
+		return b
+	}
+	return a
+}
+
+// crossover builds the child as the parents' common dimensions plus a
+// fair coin per exclusive dimension, repaired to the arity of one
+// parent — uniform crossover over dimension bitsets.
+func (m *MOGA) crossover(a, b, child *genome) {
+	m.ensureBits(child)
+	for w := range child.bits {
+		common := a.bits[w] & b.bits[w]
+		either := a.bits[w] ^ b.bits[w]
+		pick := uint64(0)
+		for e := either; e != 0; e &= e - 1 {
+			if m.rng.Intn(2) == 0 {
+				pick |= e & -e
+			}
+		}
+		child.bits[w] = common | pick
+	}
+	target := len(a.dims)
+	if m.rng.Intn(2) == 0 {
+		target = len(b.dims)
+	}
+	m.repair(child, target)
+}
+
+// clone copies a parent into the child.
+func (m *MOGA) clone(a, child *genome) {
+	m.ensureBits(child)
+	copy(child.bits, a.bits)
+	child.dims = append(child.dims[:0], a.dims...)
+}
+
+// mutate applies one random edit: swap a member for a non-member, grow
+// by one dimension, or shrink by one, staying inside the arity bounds.
+func (m *MOGA) mutate(g *genome) {
+	k := len(g.dims)
+	switch op := m.rng.Intn(3); {
+	case op == 1 && k < m.maxArity:
+		m.addRandom(g)
+	case op == 2 && k > m.cfg.MinArity:
+		m.removeRandom(g)
+	case k == m.d: // full space: a swap cannot change anything
+	default: // swap
+		m.removeRandom(g)
+		m.addRandom(g)
+	}
+	g.dims = bitsToDims(g.bits, g.dims[:0])
+}
+
+// repair adds or removes uniformly random dimensions until the genome
+// has exactly the target arity (clamped to the configured bounds), then
+// refreshes the cached member list.
+func (m *MOGA) repair(g *genome, target int) {
+	if target < m.cfg.MinArity {
+		target = m.cfg.MinArity
+	}
+	if target > m.maxArity {
+		target = m.maxArity
+	}
+	for popcount(g.bits) > target {
+		m.removeRandom(g)
+	}
+	for popcount(g.bits) < target {
+		m.addRandom(g)
+	}
+	g.dims = bitsToDims(g.bits, g.dims[:0])
+}
+
+// randomize re-seeds the genome with a uniformly random dimension set of
+// random arity within the bounds.
+func (m *MOGA) randomize(g *genome) {
+	m.ensureBits(g)
+	for w := range g.bits {
+		g.bits[w] = 0
+	}
+	arity := m.cfg.MinArity
+	if m.maxArity > arity {
+		arity += m.rng.Intn(m.maxArity - arity + 1)
+	}
+	for popcount(g.bits) < arity {
+		m.addRandom(g)
+	}
+	g.dims = bitsToDims(g.bits, g.dims[:0])
+}
+
+// ensureBits sizes the genome's bitset for the data space.
+func (m *MOGA) ensureBits(g *genome) {
+	words := (m.d + 63) / 64
+	if len(g.bits) != words {
+		g.bits = make([]uint64, words)
+	}
+}
+
+// addRandom sets one uniformly random currently-clear bit.
+func (m *MOGA) addRandom(g *genome) {
+	for {
+		dim := m.rng.Intn(m.d)
+		if !bitHas(g.bits, dim) {
+			g.bits[dim>>6] |= 1 << (uint(dim) & 63)
+			return
+		}
+	}
+}
+
+// removeRandom clears one uniformly random currently-set bit.
+func (m *MOGA) removeRandom(g *genome) {
+	n := popcount(g.bits)
+	if n == 0 {
+		return
+	}
+	nth := m.rng.Intn(n)
+	for w, word := range g.bits {
+		c := bits.OnesCount64(word)
+		if nth >= c {
+			nth -= c
+			continue
+		}
+		for ; nth > 0; nth-- {
+			word &= word - 1
+		}
+		g.bits[w] &^= word & -word
+		return
+	}
+}
+
+// rank assigns every genome its MOGA Pareto rank — the number of
+// population members that dominate it (0 = non-dominated) — and the
+// NSGA-style crowding distance within each rank for diversity-aware
+// tie-breaking.
+func (m *MOGA) rank(pop []genome) {
+	for i := range pop {
+		pop[i].rank = 0
+		pop[i].crowd = 0
+		for j := range pop {
+			if i != j && dominates(&pop[j], &pop[i]) {
+				pop[i].rank++
+			}
+		}
+	}
+	// Crowding per rank group, accumulated over both objectives.
+	idx := make([]int, 0, len(pop))
+	byRank := map[int][]int{}
+	for i := range pop {
+		byRank[pop[i].rank] = append(byRank[pop[i].rank], i)
+	}
+	for _, group := range byRank {
+		for _, obj := range []func(*genome) float64{
+			func(g *genome) float64 { return g.sparsity },
+			func(g *genome) float64 { return g.coverage },
+		} {
+			idx = append(idx[:0], group...)
+			sort.Slice(idx, func(a, b int) bool {
+				if va, vb := obj(&pop[idx[a]]), obj(&pop[idx[b]]); va != vb {
+					return va < vb
+				}
+				return slices.Compare(pop[idx[a]].dims, pop[idx[b]].dims) < 0
+			})
+			pop[idx[0]].crowd = math.Inf(1)
+			pop[idx[len(idx)-1]].crowd = math.Inf(1)
+			for k := 1; k < len(idx)-1; k++ {
+				pop[idx[k]].crowd += obj(&pop[idx[k+1]]) - obj(&pop[idx[k-1]])
+			}
+		}
+	}
+}
+
+// dominates reports Pareto dominance of a over b on (sparsity,
+// coverage), both maximized. A valid genome always dominates an invalid
+// one.
+func dominates(a, b *genome) bool {
+	if a.valid != b.valid {
+		return a.valid
+	}
+	if !a.valid {
+		return false
+	}
+	if a.sparsity < b.sparsity || a.coverage < b.coverage {
+		return false
+	}
+	return a.sparsity > b.sparsity || a.coverage > b.coverage
+}
+
+// fitter is the tournament/selection order: lower Pareto rank first,
+// higher crowding distance within a rank, lexicographic dimension set
+// as the deterministic last word.
+func fitter(a, b *genome) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	if a.crowd != b.crowd {
+		return a.crowd > b.crowd
+	}
+	return slices.Compare(a.dims, b.dims) < 0
+}
+
+// sortByFitness orders the index slice by fitter over pop.
+func sortByFitness(pop []genome, order []int) {
+	sort.Slice(order, func(i, j int) bool {
+		return fitter(&pop[order[i]], &pop[order[j]])
+	})
+}
+
+// bitHas reports whether bit i is set.
+func bitHas(b []uint64, i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// popcount counts the set bits of the bitset.
+func popcount(b []uint64) int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// bitsToDims appends the set bits of the bitset to dims in ascending
+// order and returns it.
+func bitsToDims(b []uint64, dims []uint16) []uint16 {
+	for w, word := range b {
+		for ; word != 0; word &= word - 1 {
+			dims = append(dims, uint16(w<<6+bits.TrailingZeros64(word)))
+		}
+	}
+	return dims
+}

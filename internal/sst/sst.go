@@ -1,19 +1,26 @@
 // Package sst implements the Sparse Subspace Template of SPOT: the set
 // of subspaces in which every streaming point is checked for projected
-// outlier-ness. The template holds two groups:
+// outlier-ness. The template holds the paper's three groups:
 //
 //   - The fixed group — every subspace of dimension 1..maxDim of the
 //     data space, enumerated once at construction into flat index
 //     slices so the ingestion hot path walks subspaces with
 //     pointer-free slice arithmetic. Fixed subspaces are never removed.
 //
-//   - The self-evolving group — subspaces promoted at runtime by an
-//     Evolver from the epoch sweep's summary statistics (the paper's
-//     unsupervised top-sparse group), and demoted again when the stream
-//     drifts away from them. Evolved slots are tombstoned on demotion
-//     and reused, so subspace IDs of live subspaces stay stable and the
-//     cell-key ID budget is not consumed by churn.
+//   - The unsupervised self-evolving group — subspaces promoted at
+//     runtime by the TopSparse Evolver from the epoch sweep's summary
+//     statistics (the paper's top-sparse group), and demoted again when
+//     the stream drifts away from them. Evolved slots are tombstoned on
+//     demotion and reused, so subspace IDs of live subspaces stay
+//     stable and the cell-key ID budget is not consumed by churn.
 //
+//   - The supervised example-driven group — subspaces found by the MOGA
+//     Evolver's multi-objective genetic search over the subspace
+//     lattice, guided by outlier examples the caller confirmed through
+//     the detector's feedback API (see moga.go).
+//
+// Every evolver owns exactly the subspaces it promoted, so the two
+// evolving groups coexist in one template behind the Multi combinator.
 // Mutation (Promote/Demote) is only legal between stream epochs, while
 // no detector worker is reading the template; the stream package calls
 // it exclusively from its epoch-sweep path at batch boundaries.

@@ -120,6 +120,15 @@ type Config struct {
 	// Evolver's demotion decisions. 0 defaults to 0.1. Only meaningful
 	// with an Evolver set.
 	SweepSparseRatio float64
+	// MaxExamples caps the labeled-example set retained for supervised
+	// evolution (see Detector.MarkExample): when full, marking a new
+	// example drops the oldest. 0 defaults to 256.
+	MaxExamples int
+	// ExampleTTL, when positive, expires examples more than this many
+	// ticks old at each epoch sweep, so supervision follows the stream
+	// instead of pinning subspaces to anomalies long gone. 0 retains
+	// examples until displaced by MaxExamples.
+	ExampleTTL uint64
 }
 
 // DefaultConfig returns a starting configuration for a d-dimensional
@@ -168,6 +177,11 @@ type Detector struct {
 	// the dispatcher goroutine, updated while shard workers run.
 	bcs      *core.BCSTable
 	bscratch []uint8
+
+	// Labeled outlier examples for supervised evolution, newest last;
+	// owned by the dispatcher goroutine (MarkExample runs between
+	// batches) and handed to the Evolver at epoch boundaries.
+	examples []sst.Example
 
 	// Epoch-engine state: the per-arity average populated-cell
 	// densities as of the last sweep (read by shards during
@@ -219,6 +233,12 @@ func New(cfg Config) (*Detector, error) {
 	}
 	if cfg.SweepSparseRatio < 0 || cfg.SweepSparseRatio >= 1 {
 		return nil, fmt.Errorf("stream: SweepSparseRatio must be in (0,1), got %g", cfg.SweepSparseRatio)
+	}
+	if cfg.MaxExamples == 0 {
+		cfg.MaxExamples = 256
+	}
+	if cfg.MaxExamples < 0 {
+		return nil, fmt.Errorf("stream: MaxExamples must be non-negative, got %d", cfg.MaxExamples)
 	}
 	min, max := cfg.Min, cfg.Max
 	if min == nil && max == nil {
@@ -384,6 +404,33 @@ func (d *Detector) Close() {
 		}
 	}
 }
+
+// MarkExample records the point as a caller-confirmed outlier example —
+// the supervised feedback channel of the paper's example-driven SST
+// group. The detector keeps the example's full-space interval
+// coordinates (not the point itself) and hands the retained set to the
+// configured sst.Evolver at the next epoch boundary, where a supervised
+// evolver (sst.MOGA) searches for the subspaces in which the examples
+// look maximally anomalous. At most Config.MaxExamples are retained
+// (oldest dropped first) and Config.ExampleTTL bounds their age.
+//
+// MarkExample must be called from the goroutine driving Process /
+// ProcessBatch, between calls — typically right after a flagged point
+// is confirmed by the caller's feedback loop. It never touches the
+// ingestion hot path: no shard state is read or written.
+func (d *Detector) MarkExample(point []float64) {
+	coords := make([]uint8, d.cfg.Dims)
+	d.grid.Intervals(point, coords)
+	if len(d.examples) >= d.cfg.MaxExamples {
+		n := copy(d.examples, d.examples[len(d.examples)-d.cfg.MaxExamples+1:])
+		d.examples = d.examples[:n]
+	}
+	d.examples = append(d.examples, sst.Example{Coords: coords, Tick: d.tick})
+}
+
+// ExampleCount returns the number of labeled examples currently
+// retained for supervised evolution.
+func (d *Detector) ExampleCount() int { return len(d.examples) }
 
 // touchBase folds the point into its Base Cell Summary.
 func (d *Detector) touchBase(point []float64, tick uint64) {

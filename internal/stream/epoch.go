@@ -125,11 +125,25 @@ func (d *Detector) epochSweep() {
 	d.counters.sweeps++
 
 	if collect {
+		// Expire labeled examples past their TTL before the evolver
+		// sees them; the set is kept in arrival (tick) order, so the
+		// survivors are a suffix.
+		if ttl := d.cfg.ExampleTTL; ttl > 0 {
+			keep := 0
+			for keep < len(d.examples) && tick-d.examples[keep].Tick > ttl {
+				keep++
+			}
+			if keep > 0 {
+				n := copy(d.examples, d.examples[keep:])
+				d.examples = d.examples[:n]
+			}
+		}
 		stats := sst.EpochStats{
 			Tick:      tick,
 			BaseTotal: baseTotal,
 			BaseCells: d.baseCells,
 			Subspaces: d.perSub,
+			Examples:  d.examples,
 		}
 		d.applyEvolution(d.cfg.Evolver.Evolve(d.tmpl, &stats))
 	}
@@ -188,6 +202,9 @@ type Stats struct {
 	EvolvedActive int
 	Promoted      uint64
 	Demoted       uint64
+	// Examples is the number of labeled outlier examples currently
+	// retained for supervised evolution.
+	Examples int
 }
 
 // Stats returns the current snapshot. Safe to call between
@@ -204,5 +221,6 @@ func (d *Detector) Stats() Stats {
 		EvolvedActive:    d.tmpl.EvolvedCount(),
 		Promoted:         d.counters.promoted,
 		Demoted:          d.counters.demoted,
+		Examples:         len(d.examples),
 	}
 }

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"testing"
+
+	"spot/internal/sst"
+)
+
+// scriptedEvolver replays a fixed sequence of Evolutions, one per epoch
+// boundary, regardless of the sweep statistics — a stand-in for a buggy
+// or adversarial Evolver implementation.
+type scriptedEvolver struct {
+	steps []sst.Evolution
+	at    int
+}
+
+// Evolve implements sst.Evolver.
+func (s *scriptedEvolver) Evolve(*sst.Template, *sst.EpochStats) sst.Evolution {
+	if s.at >= len(s.steps) {
+		return sst.Evolution{}
+	}
+	ev := s.steps[s.at]
+	s.at++
+	return ev
+}
+
+// TestMisbehavingEvolverIsContained: the detector must survive an
+// evolver that proposes duplicates of fixed-group members, malformed
+// dimension sets, demotions of fixed or dead IDs, and the same set
+// twice in one epoch — applying only the legal mutations and counting
+// only those in its lifetime stats, with the hot path unaffected.
+func TestMisbehavingEvolverIsContained(t *testing.T) {
+	const d = 5
+	ev := &scriptedEvolver{steps: []sst.Evolution{
+		{
+			Promote: [][]uint16{
+				{2},          // duplicates a fixed arity-1 subspace
+				{3, 1},       // not strictly increasing
+				{1, 9},       // dimension out of range
+				{1, 3},       // legal
+				{1, 3},       // duplicate of the same epoch's promotion
+			},
+			Demote: []uint32{0, 99}, // fixed-group ID; unknown ID
+		},
+		{
+			Demote: []uint32{5, 5}, // legal demote of {1,3}; then double demote
+		},
+	}}
+	cfg := DefaultConfig(d)
+	cfg.MaxSubspaceDim = 1
+	cfg.Shards = 2
+	cfg.Warmup = 30
+	cfg.EpochTicks = 64
+	cfg.EvictEpsilon = 1e-6
+	cfg.Evolver = ev
+	det, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+
+	point := []float64{0.5, 0.5, 0.5, 0.5, 0.5}
+	for i := 0; i < 64; i++ {
+		det.Process(point)
+	}
+	s := det.Stats()
+	if s.Sweeps != 1 {
+		t.Fatalf("Sweeps = %d, want 1", s.Sweeps)
+	}
+	if s.Promoted != 1 || s.Demoted != 0 {
+		t.Fatalf("promoted/demoted = %d/%d after epoch 1, want 1/0 — illegal proposals must not count", s.Promoted, s.Demoted)
+	}
+	if got := det.Stats().EvolvedActive; got != 1 {
+		t.Fatalf("EvolvedActive = %d, want 1", got)
+	}
+	tmpl := det.Template()
+	id, ok := tmpl.Contains([]uint16{1, 3})
+	if !ok || id != uint32(d) {
+		t.Fatalf("Contains([1 3]) = %d,%v, want %d,true", id, ok, d)
+	}
+	if tmpl.FixedCount() != d || !tmpl.Active(0) {
+		t.Fatal("fixed group mutated by misbehaving evolver")
+	}
+
+	// Second epoch: the legal demote lands once, the double demote is
+	// dropped, and the detector keeps processing normally.
+	for i := 0; i < 64; i++ {
+		det.Process(point)
+	}
+	s = det.Stats()
+	if s.Promoted != 1 || s.Demoted != 1 {
+		t.Fatalf("promoted/demoted = %d/%d after epoch 2, want 1/1", s.Promoted, s.Demoted)
+	}
+	if got := s.EvolvedActive; got != 0 {
+		t.Fatalf("EvolvedActive = %d after demotion, want 0", got)
+	}
+	if _, still := tmpl.Contains([]uint16{1, 3}); still {
+		t.Fatal("demoted subspace still in the template index")
+	}
+	// The purge left no ghost cells for the demoted subspace.
+	for i := 0; i < 64; i++ {
+		det.Process(point)
+	}
+	if s := det.Stats(); s.Sweeps != 3 {
+		t.Fatalf("Sweeps = %d, want 3 — detector stalled after misbehaving evolver", s.Sweeps)
+	}
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Coverage gate for internal/...: fails when total statement coverage
+# drops below the checked-in floor (scripts/coverage_threshold.txt).
+# The floor exists so a future PR cannot silently drop the
+# property/fuzz/table suites that pin the detector's correctness
+# claims; raise it as coverage grows, never lower it to make a PR pass.
+#
+# Usage: coverage.sh [profile]
+# With no argument the suite is run here to produce the profile; CI
+# passes the profile its race run already produced so the tests only
+# run once.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold=$(<scripts/coverage_threshold.txt)
+if [[ $# -ge 1 ]]; then
+  profile=$1
+else
+  profile=$(mktemp)
+  trap 'rm -f "$profile"' EXIT
+  go test -coverprofile="$profile" ./internal/... >/dev/null
+fi
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "coverage: ${total}% of statements in internal/... (floor: ${threshold}%)"
+if ! awk -v t="$threshold" -v c="$total" 'BEGIN { exit !(c+0 >= t+0) }'; then
+  echo "coverage.sh: FAILED — ${total}% is below the ${threshold}% floor" >&2
+  exit 1
+fi
