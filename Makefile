@@ -1,4 +1,4 @@
-.PHONY: build test bench vet lint fuzz cover
+.PHONY: build test bench microbench vet lint fuzz cover
 
 build:
 	go build ./...
@@ -28,3 +28,13 @@ cover:
 
 bench:
 	./scripts/bench.sh
+
+# Hot-path microbenchmarks: the open-addressed cell table vs its
+# map-backed oracle (internal/core) and the detector's point/batch
+# ingestion paths (internal/stream), with allocation reporting. The
+# -run filter also executes the zero-allocs gates, so a steady-state
+# allocation on the hot path fails the target. Override BENCHTIME
+# (e.g. BENCHTIME=1x) for a smoke run in CI.
+BENCHTIME ?= 1s
+microbench:
+	go test -run 'ZeroAllocs' -bench 'PCSTable|ProcessPoint|ProcessBatch' -benchmem -benchtime $(BENCHTIME) ./internal/core ./internal/stream

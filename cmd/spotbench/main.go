@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,21 +24,26 @@ import (
 )
 
 // result is one throughput measurement at a (dims, shards)
-// configuration.
+// configuration. NsPerPoint is the inverse throughput; AllocsPerPoint
+// counts heap allocations per ingested point over the timed window
+// (steady state should be ~0 — the microbench suite gates the exact
+// zero).
 type result struct {
-	Name          string  `json:"name"`
-	Dims          int     `json:"dims"`
-	Shards        int     `json:"shards"`
-	MaxDim        int     `json:"max_subspace_dim"`
-	Phi           int     `json:"phi"`
-	Subspaces     int     `json:"subspaces"`
-	Batch         int     `json:"batch"`
-	Points        int     `json:"points"`
-	Seconds       float64 `json:"seconds"`
-	PointsPerSec  float64 `json:"points_per_sec"`
-	OutlierRate   float64 `json:"flagged_rate"`
-	ProjectedCell int     `json:"projected_cells"`
-	BaseCells     int     `json:"base_cells"`
+	Name           string  `json:"name"`
+	Dims           int     `json:"dims"`
+	Shards         int     `json:"shards"`
+	MaxDim         int     `json:"max_subspace_dim"`
+	Phi            int     `json:"phi"`
+	Subspaces      int     `json:"subspaces"`
+	Batch          int     `json:"batch"`
+	Points         int     `json:"points"`
+	Seconds        float64 `json:"seconds"`
+	PointsPerSec   float64 `json:"points_per_sec"`
+	NsPerPoint     float64 `json:"ns_per_point"`
+	AllocsPerPoint float64 `json:"allocs_per_point"`
+	OutlierRate    float64 `json:"flagged_rate"`
+	ProjectedCell  int     `json:"projected_cells"`
+	BaseCells      int     `json:"base_cells"`
 }
 
 // driftResult reports the bounded-memory run: a jump-drifting stream
@@ -106,6 +112,7 @@ type report struct {
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Benchmarks []result           `json:"benchmarks"`
 	Ratios     map[string]float64 `json:"shard8_over_shard1"`
+	SweepPause *sweepPauseResult  `json:"sweep_pause"`
 	Drift      *driftResult       `json:"drift_memory"`
 	Evolution  *evolutionResult   `json:"sst_evolution"`
 	Supervised *supervisedResult  `json:"supervised"`
@@ -142,6 +149,8 @@ func run(d, shards, batch int, dur time.Duration) (result, error) {
 		det.ProcessBatch(flats[i], out)
 	}
 
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	points, flagged := 0, 0
 	start := time.Now()
 	for i := 0; time.Since(start) < dur; i++ {
@@ -154,20 +163,100 @@ func run(d, shards, batch int, dur time.Duration) (result, error) {
 		}
 	}
 	elapsed := time.Since(start).Seconds()
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	return result{
-		Name:          fmt.Sprintf("d=%d/shards=%d", d, shards),
-		Dims:          d,
-		Shards:        shards,
-		MaxDim:        cfg.MaxSubspaceDim,
-		Phi:           cfg.Phi,
-		Subspaces:     det.Template().Count(),
-		Batch:         batch,
-		Points:        points,
-		Seconds:       elapsed,
-		PointsPerSec:  float64(points) / elapsed,
-		OutlierRate:   float64(flagged) / float64(points),
-		ProjectedCell: det.ProjectedCells(),
-		BaseCells:     det.BaseCells(),
+		Name:           fmt.Sprintf("d=%d/shards=%d", d, shards),
+		Dims:           d,
+		Shards:         shards,
+		MaxDim:         cfg.MaxSubspaceDim,
+		Phi:            cfg.Phi,
+		Subspaces:      det.Template().Count(),
+		Batch:          batch,
+		Points:         points,
+		Seconds:        elapsed,
+		PointsPerSec:   float64(points) / elapsed,
+		NsPerPoint:     elapsed * 1e9 / float64(points),
+		AllocsPerPoint: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(points),
+		OutlierRate:    float64(flagged) / float64(points),
+		ProjectedCell:  det.ProjectedCells(),
+		BaseCells:      det.BaseCells(),
+	}, nil
+}
+
+// sweepPauseResult reports the epoch-sweep pause with the per-shard
+// table sweeps run serially on the dispatcher vs fanned out to the
+// shard workers, on the same stream. Pauses are the mean wall time of
+// a sweep's table scans (SST evolution excluded); the ratio is only
+// meaningful on multi-core machines — on one CPU the parallel fan-out
+// can't overlap and merely adds handoff cost.
+type sweepPauseResult struct {
+	Dims               int     `json:"dims"`
+	Shards             int     `json:"shards"`
+	EpochTicks         uint64  `json:"epoch_ticks"`
+	Points             int     `json:"points"`
+	Sweeps             uint64  `json:"sweeps"`
+	ProjectedCells     int     `json:"projected_cells"`
+	SerialNsPerSweep   float64 `json:"serial_ns_per_sweep"`
+	ParallelNsPerSweep float64 `json:"parallel_ns_per_sweep"`
+	ParallelOverSerial float64 `json:"parallel_over_serial"`
+}
+
+// runSweepPause feeds the identical batched stream through two
+// detectors differing only in Config.SerialSweep and reports the mean
+// epoch pause of each.
+func runSweepPause() (*sweepPauseResult, error) {
+	const (
+		d      = 20
+		shards = 4
+		batch  = 512
+		epochs = 16
+	)
+	measure := func(serial bool) (stream.Stats, error) {
+		cfg := stream.DefaultConfig(d)
+		cfg.MaxSubspaceDim = bench.MaxDimFor(d)
+		cfg.Shards = shards
+		cfg.SerialSweep = serial
+		det, err := stream.New(cfg)
+		if err != nil {
+			return stream.Stats{}, err
+		}
+		defer det.Close()
+		gen := bench.NewGenerator(bench.DefaultGenConfig(d))
+		flat := make([]float64, batch*d)
+		labels := make([]bool, batch)
+		out := make([]bool, batch)
+		points := epochs * int(cfg.EpochTicks)
+		for fed := 0; fed < points; fed += batch {
+			gen.Fill(flat, labels, batch)
+			det.ProcessBatch(flat, out)
+		}
+		return det.Stats(), nil
+	}
+	ser, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	par, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	if ser.Sweeps == 0 || par.Sweeps == 0 {
+		return nil, fmt.Errorf("sweep pause run recorded no sweeps")
+	}
+	serNs := float64(ser.SweepNanos) / float64(ser.Sweeps)
+	parNs := float64(par.SweepNanos) / float64(par.Sweeps)
+	cfgTicks := stream.DefaultConfig(d).EpochTicks
+	return &sweepPauseResult{
+		Dims:               d,
+		Shards:             shards,
+		EpochTicks:         cfgTicks,
+		Points:             epochs * int(cfgTicks),
+		Sweeps:             par.Sweeps,
+		ProjectedCells:     par.ProjectedCells,
+		SerialNsPerSweep:   serNs,
+		ParallelNsPerSweep: parNs,
+		ParallelOverSerial: parNs / serNs,
 	}, nil
 }
 
@@ -499,6 +588,7 @@ func main() {
 	dur := flag.Duration("duration", 2*time.Second, "measurement duration per configuration")
 	batch := flag.Int("batch", 512, "batch size in points")
 	sha := flag.String("gitsha", "", "git commit to record (default: ask git)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	flag.Parse()
 	if *batch < 1 {
 		fmt.Fprintf(os.Stderr, "spotbench: -batch must be ≥ 1, got %d\n", *batch)
@@ -507,6 +597,21 @@ func main() {
 	if *dur <= 0 {
 		fmt.Fprintf(os.Stderr, "spotbench: -duration must be positive, got %v\n", *dur)
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	rep := report{
@@ -538,6 +643,13 @@ func main() {
 			rep.Ratios[fmt.Sprintf("d=%d", d)] = perDim[d][8] / perDim[d][1]
 		}
 	}
+	sp, err := runSweepPause()
+	if err != nil {
+		fail(err)
+	}
+	rep.SweepPause = sp
+	fmt.Printf("sweep pause d=%d/shards=%d: serial %.0fns parallel %.0fns (×%.2f, %d cells)\n",
+		sp.Dims, sp.Shards, sp.SerialNsPerSweep, sp.ParallelNsPerSweep, sp.ParallelOverSerial, sp.ProjectedCells)
 	dr, err := runDrift()
 	if err != nil {
 		fail(err)

@@ -14,9 +14,14 @@ func Decay(lambda float64, dt uint64) float64 {
 	return math.Exp2(-lambda * float64(dt))
 }
 
-// decayTableSize covers the overwhelmingly common small gaps between
-// touches of hot summaries; larger gaps fall back to math.Exp2.
-const decayTableSize = 64
+// decayTableSize covers the gaps between touches of recurring
+// summaries; larger gaps fall back to math.Exp2. Subspace totals are
+// touched every tick, but individual cells of a subspace with c
+// populated cells recur every ~c ticks — profiles showed the old
+// 64-entry table pushing a large share of cell touches onto the
+// transcendental fallback, so the table spans 4096 ticks (32 KiB,
+// shared read-only across shards; the hot prefix stays cached).
+const decayTableSize = 4096
 
 // DecayTable memoizes Decay(lambda, dt) for small dt. Subspace totals
 // are touched every tick (dt==1) and hot cells every few ticks, so the

@@ -129,6 +129,15 @@ type Config struct {
 	// instead of pinning subspaces to anomalies long gone. 0 retains
 	// examples until displaced by MaxExamples.
 	ExampleTTL uint64
+	// SerialSweep forces epoch sweeps to run inline on the dispatcher
+	// goroutine even when shard workers are available. By default the
+	// per-shard table sweeps fan out to the shard workers (each table
+	// is shard-exclusive and each subspace's statistics are written by
+	// exactly one shard, so results are identical) while the dispatcher
+	// sweeps the base-cell table, shrinking the epoch pause. Sweep
+	// results are bit-identical either way; the flag exists to measure
+	// the pause difference and to debug with a single-threaded sweep.
+	SerialSweep bool
 }
 
 // DefaultConfig returns a starting configuration for a d-dimensional
@@ -153,12 +162,20 @@ func DefaultConfig(d int) Config {
 	}
 }
 
-// job is the unit of work handed to shard workers: a flat row-major
-// batch starting at stream tick t0+1.
+// job is the unit of work handed to shard workers: either a batch of n
+// points starting at stream tick t0+1 in dimension-major (transposed)
+// layout together with its precomputed discretization plane, or
+// (sweep=true) an epoch-sweep order for the shard's cell table at tick
+// t0. The transposed layout — column dim occupies [dim*n, (dim+1)*n) —
+// lets the shards' subspace-major passes stream each member dimension
+// sequentially instead of striding across point rows.
 type job struct {
-	flat []float64
-	n    int
-	t0   uint64
+	flatT  []float64 // n×Dims point values, one column per dimension
+	planeT []uint8   // n×Dims interval indices, one column per dimension
+	n      int
+	t0     uint64
+	sweep  bool
+	eps    float64
 }
 
 // Detector is SPOT's streaming engine. It is not safe for concurrent
@@ -176,7 +193,17 @@ type Detector struct {
 	// Base Cell Summaries over the full d-dimensional space; owned by
 	// the dispatcher goroutine, updated while shard workers run.
 	bcs      *core.BCSTable
-	bscratch []uint8
+	bscratch []uint8 // 1×Dims discretization plane of the pointwise path
+
+	// Discretization plane of the current batch: the n×Dims interval
+	// indices, computed once by the dispatcher and read by every shard
+	// — without it each of the Shards workers would re-discretize every
+	// point, multiplying that work by the shard count. plane is
+	// row-major (per point, for the base-cell table); planeT and flatT
+	// are the dimension-major transposes the shards consume.
+	plane  []uint8
+	planeT []uint8
+	flatT  []float64
 
 	// Labeled outlier examples for supervised evolution, newest last;
 	// owned by the dispatcher goroutine (MarkExample runs between
@@ -295,14 +322,17 @@ func (d *Detector) Tick() uint64 { return d.tick }
 // subspace places it in an outlying cell. For points that land in
 // already-populated cells it performs zero heap allocations; the
 // amortized exception is the epoch sweep, which runs inline every
-// Config.EpochTicks points.
+// Config.EpochTicks points. The point is discretized exactly once —
+// the width-1 case of the batch discretization plane — and the same
+// interval row feeds the base-cell table and every shard.
 func (d *Detector) Process(point []float64) bool {
 	d.tick++
 	t := d.tick
-	d.touchBase(point, t)
+	d.grid.Intervals(point, d.bscratch)
+	d.bcs.Touch(d.decay, t, d.bscratch, point)
 	out := false
 	for _, sh := range d.shards {
-		if sh.processPoint(point, t) {
+		if sh.processPoint(point, d.bscratch, t) {
 			out = true
 		}
 	}
@@ -344,34 +374,55 @@ func (d *Detector) ProcessBatch(flat []float64, out []bool) int {
 }
 
 // runBatch dispatches one (sub-)batch of n points to the shard workers
-// and merges their verdict bitsets into out.
+// and merges their verdict bitsets into out. The dispatcher first
+// computes the batch's discretization plane — one n×Dims pass instead
+// of one per shard — then overlaps the base-cell updates with the
+// workers; the shards' verdict bitsets are OR-merged word-wise and
+// expanded to out once.
 func (d *Detector) runBatch(flat []float64, n int, out []bool) {
 	t0 := d.tick
 	d.tick += uint64(n)
+	dims := d.cfg.Dims
+	if cap(d.plane) < n*dims {
+		d.plane = make([]uint8, n*dims)
+		d.planeT = make([]uint8, n*dims)
+		d.flatT = make([]float64, n*dims)
+	}
+	plane := d.plane[:n*dims]
+	planeT := d.planeT[:n*dims]
+	flatT := d.flatT[:n*dims]
+	for i := 0; i < n; i++ {
+		row := flat[i*dims : (i+1)*dims]
+		prow := plane[i*dims : (i+1)*dims]
+		d.grid.Intervals(row, prow)
+		for j := 0; j < dims; j++ {
+			planeT[j*n+i] = prow[j]
+			flatT[j*n+i] = row[j]
+		}
+	}
 	if !d.workersUp {
 		d.startWorkers()
 	}
 	for _, ch := range d.jobs {
-		ch <- job{flat: flat, n: n, t0: t0}
+		ch <- job{flatT: flatT, planeT: planeT, n: n, t0: t0}
 	}
 	// The dispatcher goroutine owns the base-cell table; updating it
 	// here overlaps with the shard workers instead of serializing
-	// after them.
+	// after them, reusing the plane rows it just computed.
 	for i := 0; i < n; i++ {
-		d.touchBase(flat[i*d.cfg.Dims:(i+1)*d.cfg.Dims], t0+uint64(i)+1)
+		d.bcs.Touch(d.decay, t0+uint64(i)+1, plane[i*dims:(i+1)*dims], flat[i*dims:(i+1)*dims])
 	}
 	for range d.shards {
 		<-d.done
 	}
-	for i := 0; i < n; i++ {
-		out[i] = false
-	}
-	for _, sh := range d.shards {
-		for i := 0; i < n; i++ {
-			if sh.verdict[i>>6]&(1<<(uint(i)&63)) != 0 {
-				out[i] = true
-			}
+	merged := d.shards[0].verdict
+	for _, sh := range d.shards[1:] {
+		for w, v := range sh.verdict {
+			merged[w] |= v
 		}
+	}
+	for i := 0; i < n; i++ {
+		out[i] = merged[i>>6]&(1<<(uint(i)&63)) != 0
 	}
 }
 
@@ -383,7 +434,11 @@ func (d *Detector) startWorkers() {
 		d.jobs[i] = ch
 		go func(sh *shard) {
 			for jb := range ch {
-				sh.processBatch(jb)
+				if jb.sweep {
+					sh.sweepEvicted = sh.sweep(jb.t0, jb.eps, d.perSub)
+				} else {
+					sh.processBatch(jb)
+				}
 				d.done <- struct{}{}
 			}
 		}(sh)
@@ -431,12 +486,6 @@ func (d *Detector) MarkExample(point []float64) {
 // ExampleCount returns the number of labeled examples currently
 // retained for supervised evolution.
 func (d *Detector) ExampleCount() int { return len(d.examples) }
-
-// touchBase folds the point into its Base Cell Summary.
-func (d *Detector) touchBase(point []float64, tick uint64) {
-	d.grid.Intervals(point, d.bscratch)
-	d.bcs.Touch(d.decay, tick, d.bscratch, point)
-}
 
 // BaseCells returns the number of populated base cells.
 func (d *Detector) BaseCells() int { return d.bcs.Len() }

@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"sort"
+	"time"
 
 	"spot/internal/core"
 	"spot/internal/sst"
@@ -47,6 +48,7 @@ type arityAccum struct {
 // through Stats.
 type epochCounters struct {
 	sweeps           uint64
+	sweepNanos       uint64
 	evictedProjected uint64
 	evictedBase      uint64
 	promoted         uint64
@@ -63,8 +65,16 @@ func (d *Detector) maybeSweep() {
 
 // epochSweep performs one full sweep at the current tick: shard tables
 // first (eviction, per-subspace and per-arity accounting), then the
-// base-cell table, then the per-arity averages, then evolution.
+// base-cell table, then the per-arity averages, then evolution. When
+// the shard workers are running (batch mode) and SerialSweep is off,
+// the per-shard table sweeps fan out to the workers — each shard's
+// table is exclusively its own and each subspace's perSub entry is
+// written by exactly one shard, so the parallel sweep produces
+// bit-identical statistics — while the dispatcher overlaps the
+// base-cell sweep; the epoch pause then shrinks from the sum of the
+// table scans to roughly the largest one.
 func (d *Detector) epochSweep() {
+	start := time.Now()
 	tick := d.tick
 	eps := d.cfg.EvictEpsilon
 
@@ -76,8 +86,15 @@ func (d *Detector) epochSweep() {
 			d.perSub[i] = sst.SubspaceStats{}
 		}
 	}
-	for _, sh := range d.shards {
-		d.counters.evictedProjected += uint64(sh.sweep(tick, eps, d.perSub))
+	parallel := d.workersUp && !d.cfg.SerialSweep && len(d.shards) > 1
+	if parallel {
+		for _, ch := range d.jobs {
+			ch <- job{sweep: true, t0: tick, eps: eps}
+		}
+	} else {
+		for _, sh := range d.shards {
+			d.counters.evictedProjected += uint64(sh.sweep(tick, eps, d.perSub))
+		}
 	}
 
 	collect := d.cfg.Evolver != nil
@@ -98,6 +115,14 @@ func (d *Detector) epochSweep() {
 			d.baseCells = append(d.baseCells, sst.BaseCell{Coords: d.coordArena[off:], Dc: dc})
 		}
 	}))
+	if parallel {
+		for range d.shards {
+			<-d.done
+		}
+		for _, sh := range d.shards {
+			d.counters.evictedProjected += uint64(sh.sweepEvicted)
+		}
+	}
 	// Map iteration order is randomized; sort the snapshot so evolver
 	// decisions are reproducible run to run.
 	sort.Slice(d.baseCells, func(i, j int) bool {
@@ -123,6 +148,7 @@ func (d *Detector) epochSweep() {
 		}
 	}
 	d.counters.sweeps++
+	d.counters.sweepNanos += uint64(time.Since(start).Nanoseconds())
 
 	if collect {
 		// Expire labeled examples past their TTL before the evolver
@@ -146,6 +172,13 @@ func (d *Detector) epochSweep() {
 			Examples:  d.examples,
 		}
 		d.applyEvolution(d.cfg.Evolver.Evolve(d.tmpl, &stats))
+	}
+	// Publish the new averages as per-subspace precomputed floors so
+	// the hot path tests the arity-aware RD with one compare. After
+	// evolution, so subspaces promoted this sweep get their floor
+	// immediately instead of sitting floorless for a full epoch.
+	for _, sh := range d.shards {
+		sh.refreshPopFloors()
 	}
 }
 
@@ -191,8 +224,12 @@ type Stats struct {
 	BaseCells      int
 	ProjectedCells int
 	SummaryEntries int
-	// Sweeps is how many epoch sweeps have run.
-	Sweeps uint64
+	// Sweeps is how many epoch sweeps have run; SweepNanos is the
+	// cumulative wall time of their table scans (eviction + density
+	// accounting, excluding SST evolution), so SweepNanos/Sweeps is
+	// the average epoch pause.
+	Sweeps     uint64
+	SweepNanos uint64
 	// EvictedProjected and EvictedBase count summaries evicted from the
 	// shard tables and the base-cell table across all sweeps.
 	EvictedProjected uint64
@@ -216,6 +253,7 @@ func (d *Detector) Stats() Stats {
 		ProjectedCells:   d.ProjectedCells(),
 		SummaryEntries:   d.BaseCells() + d.ProjectedCells(),
 		Sweeps:           d.counters.sweeps,
+		SweepNanos:       d.counters.sweepNanos,
 		EvictedProjected: d.counters.evictedProjected,
 		EvictedBase:      d.counters.evictedBase,
 		EvolvedActive:    d.tmpl.EvolvedCount(),

@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"testing"
+
+	"spot/internal/bench"
+)
+
+// microbenchDetector builds a d=20 detector with populated tables and
+// sweeps pushed beyond the horizon, so the benchmarks and alloc gates
+// time the steady-state ingestion path alone.
+func microbenchDetector(tb testing.TB, shards int) (*Detector, []float64, []bool) {
+	const d, batch = 20, 512
+	cfg := DefaultConfig(d)
+	cfg.Shards = shards
+	cfg.EpochTicks = 1 << 40 // no sweep inside the measured window
+	det, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen := bench.NewGenerator(bench.DefaultGenConfig(d))
+	flat := make([]float64, batch*d)
+	labels := make([]bool, batch)
+	out := make([]bool, batch)
+	gen.Fill(flat, labels, batch)
+	for i := 0; i < 4; i++ { // populate every cell the batch touches
+		det.ProcessBatch(flat, out)
+	}
+	return det, flat, out
+}
+
+// BenchmarkProcessPoint measures the pointwise hot path: one point
+// through every SST subspace, reported with allocations (steady state
+// must be zero — TestProcessZeroAllocs is the hard gate).
+func BenchmarkProcessPoint(b *testing.B) {
+	det, flat, _ := microbenchDetector(b, 1)
+	defer det.Close()
+	d := 20
+	points := len(flat) / d
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Process(flat[(i%points)*d : (i%points+1)*d])
+	}
+}
+
+// BenchmarkProcessBatch measures the batch hot path (subspace-major
+// tiling, discretization plane, word-wise verdict merge) at 1 and 4
+// shards, reported with allocations.
+func BenchmarkProcessBatch(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(map[int]string{1: "shards=1", 4: "shards=4"}[shards], func(b *testing.B) {
+			det, flat, out := microbenchDetector(b, shards)
+			defer det.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det.ProcessBatch(flat, out)
+			}
+			b.StopTimer()
+			pts := float64(b.N * len(out))
+			b.ReportMetric(pts/b.Elapsed().Seconds(), "points/sec")
+		})
+	}
+}
+
+// TestProcessBatchZeroAllocs pins the steady-state contract of the
+// batch path: re-ingesting a batch whose cells all exist performs zero
+// heap allocations — scratch planes, verdict bitsets and table probes
+// all reuse their buffers. make microbench runs this gate alongside
+// the benchmarks.
+func TestProcessBatchZeroAllocs(t *testing.T) {
+	det, flat, out := microbenchDetector(t, 2)
+	defer det.Close()
+	allocs := testing.AllocsPerRun(20, func() {
+		det.ProcessBatch(flat, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ProcessBatch allocates %.1f times per batch, want 0", allocs)
+	}
+}

@@ -16,24 +16,39 @@ const repEmpty = ^uint64(0)
 // the decay table size so the refresh stays a table lookup.
 const repDecayStride = 32
 
-// subspaceState is the per-subspace state a shard owns exclusively: the
-// decayed subspace totals (density plus magnitude moments, reusing PCS),
-// the greedily-maintained representative (densest-cell) set for IkRD,
-// and constants precomputed from the subspace's arity.
+// subspaceState is the per-subspace state a shard owns exclusively,
+// laid out so one sequential walk over the states slice brings
+// everything processPoint needs into cache: the subspace's member
+// dimensions and packed-key base (copied out of the shared template at
+// addSubspace time, so the hot loop never chases the template), the
+// arity-derived constants, the decayed subspace totals (density plus
+// magnitude moments, reusing PCS), and the greedily-maintained
+// representative (densest-cell) set for IkRD.
 type subspaceState struct {
+	// Flattened subspace layout: member dimensions inline (first size
+	// entries used) and the subspace ID pre-shifted into key position.
+	dims    [core.MaxSubspaceDims]uint16
+	keyBase uint64 // uint64(sid) << core.SubspaceShift
+
 	total core.PCS // subspace-wide decayed totals
-	// Representatives: the k densest cells seen, maintained greedily
-	// in O(k) per touch, never a table scan. repDc fades with the
-	// stream so a once-dense cell whose cluster drifts away is
-	// eventually evicted instead of lingering as a ghost
-	// representative. All slots decay by the same factor, so one
-	// shared repsLast tick covers the set, and because decay factors
-	// compose the refresh is batched every repDecayStride ticks —
-	// densities are stale by at most one stride, which biases no
-	// comparison meaningfully but cuts the hot-path multiplies 32×.
-	repKey   []uint64
-	repDc    []float64
+
+	// repsLast is the tick the subspace's representative densities
+	// (kept in the shard's contiguous repKeys/repDcs arrays) were last
+	// faded to. repMin/repMinI cache the sparsest representative so the
+	// hot path can reject most touches with one compare: a cell's
+	// stored representative density never exceeds the cell's current
+	// density, so dc ≤ repMin means the touch can neither displace the
+	// minimum nor meaningfully refresh a slot.
 	repsLast uint64
+	repMin   float64
+	repMinI  int32
+
+	// popFloor is the precomputed arity-aware RD flag threshold:
+	// Config.RDPopulatedThreshold times the latest sweep's average
+	// populated-cell density of this arity, zero while disabled or
+	// before the first sweep. Refreshing it per sweep turns the hot
+	// path's test into one compare against a cache-resident field.
+	popFloor float64
 
 	size       uint8   // subspace arity
 	phiPow     float64 // φ^arity, the cell count under uniformity
@@ -42,9 +57,11 @@ type subspaceState struct {
 
 // shard owns an exclusive partition of the SST: the cell table, totals
 // and representatives of its subspaces. Only one goroutine ever touches
-// a shard's state, so the hot path is lock-free. Epoch sweeps and
-// evolved-subspace add/remove run on the dispatcher goroutine while the
-// workers are idle, preserving that exclusivity.
+// a shard's state while points flow, so the hot path is lock-free.
+// Epoch sweeps run either inline on the dispatcher goroutine or — in
+// batch mode — fanned out to the shard workers themselves (each shard's
+// table is exclusive either way); evolved-subspace add/remove always
+// runs on the dispatcher with workers idle.
 type shard struct {
 	det  *Detector
 	id   int
@@ -53,9 +70,48 @@ type shard struct {
 	states []subspaceState
 	table  *core.PCSTable // cell key -> PCS, sweepable
 
-	scratch []uint8  // per-dimension interval indices of the current point
+	// Per-point pass scratch, one entry per owned subspace: cell keys,
+	// projected magnitudes, resolved dense slots and post-touch cell
+	// densities. Splitting the point's update into array passes makes
+	// the random table accesses of neighboring subspaces independent,
+	// so the CPU overlaps their cache misses instead of serializing
+	// each subspace's full chain.
+	keyScratch  []uint64
+	magScratch  []float64
+	slotScratch []uint32
+	dcScratch   []float64
+
+	// Batch-mode scratch, one entry per point of the current batch
+	// (the subspace-major tiling of processBatch transposes the pass
+	// structure: the arrays then span the batch's points for one
+	// subspace at a time), plus the column headers handed to
+	// core.TouchCols.
+	bKeys []uint64
+	bMags []float64
+	bSS   []float64
+	bDcs  []float64
+	colC  [][]uint8
+	colV  [][]float64
+
+	// Representatives: the k densest cells of every owned subspace,
+	// maintained greedily in O(k) per touch, never a table scan.
+	// Subspace li owns entries [li*K, (li+1)*K). One contiguous
+	// backing per shard keeps the per-touch rep scan on the same
+	// cache-resident stride as the states walk instead of chasing
+	// per-subspace heap slices. repDcs fades with the stream so a
+	// once-dense cell whose cluster drifts away is eventually evicted
+	// instead of lingering as a ghost representative; all of a
+	// subspace's slots decay by the same factor, so one shared
+	// repsLast tick covers its set, and because decay factors compose
+	// the refresh is batched every repDecayStride ticks — densities
+	// are stale by at most one stride, which biases no comparison
+	// meaningfully but cuts the hot-path multiplies 32×.
+	repKeys []uint64
+	repDcs  []float64
+
 	verdict []uint64 // per-batch verdict bitset (batch mode only)
 
+	sweepEvicted int           // eviction count of the last sweep (read after workers sync)
 	sweepEvolved []evolvedCell // per-sweep scratch: surviving evolved-subspace cells
 }
 
@@ -69,33 +125,41 @@ type evolvedCell struct {
 
 func newShard(d *Detector, id int) *shard {
 	return &shard{
-		det:     d,
-		id:      id,
-		table:   core.NewPCSTable(),
-		scratch: make([]uint8, d.cfg.Dims),
+		det:   d,
+		id:    id,
+		table: core.NewPCSTable(),
+		colC:  make([][]uint8, 0, core.MaxSubspaceDims),
+		colV:  make([][]float64, 0, core.MaxSubspaceDims),
 	}
 }
 
-// addSubspace hands the shard ownership of subspace id. Called at
-// construction for the fixed group and from the epoch path for
-// promoted evolved subspaces; never while workers are processing.
+// addSubspace hands the shard ownership of subspace id, flattening the
+// subspace's dimensions and constants into the shard-local state so the
+// hot path never reads the shared template. Called at construction for
+// the fixed group and from the epoch path for promoted evolved
+// subspaces; never while workers are processing.
 func (s *shard) addSubspace(id uint32) {
 	s.subs = append(s.subs, id)
 	phi := s.det.grid.Phi()
 	size := s.det.tmpl.Size(int(id))
 	st := subspaceState{
-		repKey: make([]uint64, s.det.cfg.K),
-		repDc:  make([]float64, s.det.cfg.K),
-		size:   uint8(size),
-		phiPow: math.Pow(float64(phi), float64(size)),
+		keyBase: uint64(id) << core.SubspaceShift,
+		size:    uint8(size),
+		phiPow:  math.Pow(float64(phi), float64(size)),
 	}
-	for i := range st.repKey {
-		st.repKey[i] = repEmpty
-	}
+	copy(st.dims[:], s.det.tmpl.Dims(int(id)))
 	if phi > 1 {
 		st.invMaxDist = 1 / float64((phi-1)*size)
 	}
 	s.states = append(s.states, st)
+	s.keyScratch = append(s.keyScratch, 0)
+	s.magScratch = append(s.magScratch, 0)
+	s.slotScratch = append(s.slotScratch, 0)
+	s.dcScratch = append(s.dcScratch, 0)
+	for i := 0; i < s.det.cfg.K; i++ {
+		s.repKeys = append(s.repKeys, repEmpty)
+		s.repDcs = append(s.repDcs, 0)
+	}
 }
 
 // removeSubspace drops a demoted subspace: its per-subspace state goes
@@ -111,37 +175,180 @@ func (s *shard) removeSubspace(id uint32) {
 		s.subs = s.subs[:last]
 		s.states[i] = s.states[last]
 		s.states = s.states[:last]
+		k := s.det.cfg.K
+		copy(s.repKeys[i*k:(i+1)*k], s.repKeys[last*k:(last+1)*k])
+		copy(s.repDcs[i*k:(i+1)*k], s.repDcs[last*k:(last+1)*k])
+		s.repKeys = s.repKeys[:last*k]
+		s.repDcs = s.repDcs[:last*k]
 		break
 	}
+	s.keyScratch = s.keyScratch[:len(s.states)]
+	s.magScratch = s.magScratch[:len(s.states)]
+	s.slotScratch = s.slotScratch[:len(s.states)]
+	s.dcScratch = s.dcScratch[:len(s.states)]
 	s.table.EvictIf(func(key uint64) bool {
 		return uint32(key>>core.SubspaceShift) == id
 	})
 }
 
 // processPoint folds one point observed at tick into every subspace the
-// shard owns and reports whether any of them finds it outlying. Zero
-// heap allocations when the point's cells already exist.
-func (s *shard) processPoint(point []float64, tick uint64) bool {
-	s.det.grid.Intervals(point, s.scratch)
+// shard owns and reports whether any of them finds it outlying. coords
+// holds the point's per-dimension interval indices, computed once per
+// point by the dispatcher's discretization plane. Zero heap allocations
+// when the point's cells already exist.
+//
+// The update is staged into array passes rather than one loop doing
+// everything per subspace: the table accesses of different subspaces
+// are random but mutually independent, so separating "resolve all
+// slots" from "touch all cells" lets the out-of-order core keep many
+// index/cell cache misses in flight at once, where the fused loop
+// serialized each subspace's probe → summary → verdict chain. The
+// per-subspace results are identical either way — subspaces share no
+// state within a point.
+func (s *shard) processPoint(point []float64, coords []uint8, tick uint64) bool {
 	decay := s.det.decay
 	cfg := &s.det.cfg
-	out := false
-	for li, sid := range s.subs {
+	tbl := s.table
+	n := len(s.states)
+	keys := s.keyScratch[:n]
+	mags := s.magScratch[:n]
+	slots := s.slotScratch[:n]
+	dcs := s.dcScratch[:n]
+	// Pass 1: assemble every subspace's packed cell key and projected
+	// magnitude, and fold the subspace totals (the body of PCS.Touch,
+	// inlined: a call per subspace would cost more than the fold) — a
+	// sequential walk over the shard-local flattened layout, no random
+	// access. Arities 1–3 (the fixed group's bulk) get unrolled key
+	// assembly with constant shifts; the template enumerates by
+	// increasing arity and shards deal round-robin, so the switch runs
+	// in long predictable runs.
+	for li := range s.states {
 		st := &s.states[li]
-		dims := s.det.tmpl.Dims(int(sid))
-		// Assemble the packed cell key and the projected magnitude in
-		// one pass over the subspace's dimensions.
-		key := uint64(sid) << core.SubspaceShift
-		m := 0.0
-		for j, dim := range dims {
-			key |= uint64(s.scratch[dim]) << (uint(j) * core.CoordBits)
-			m += point[dim]
+		key := st.keyBase
+		var m float64
+		switch st.size {
+		case 1:
+			d0 := st.dims[0]
+			key |= uint64(coords[d0])
+			m = point[d0]
+		case 2:
+			d0, d1 := st.dims[0], st.dims[1]
+			key |= uint64(coords[d0]) | uint64(coords[d1])<<core.CoordBits
+			m = point[d0] + point[d1]
+		case 3:
+			d0, d1, d2 := st.dims[0], st.dims[1], st.dims[2]
+			key |= uint64(coords[d0]) | uint64(coords[d1])<<core.CoordBits | uint64(coords[d2])<<(2*core.CoordBits)
+			m = point[d0] + point[d1] + point[d2]
+		default:
+			for j, dim := range st.dims[:st.size] {
+				key |= uint64(coords[dim]) << (uint(j) * core.CoordBits)
+				m += point[dim]
+			}
 		}
-		st.total.Touch(decay, tick, m)
-		p := s.table.Get(key, tick)
-		p.Touch(decay, tick, m)
-		s.maintainReps(st, key, p.Dc, tick)
-		if st.total.Dc >= cfg.Warmup && s.outlying(st, key, p) {
+		keys[li] = key
+		mags[li] = m
+		tt := &st.total
+		if tt.Last != tick {
+			f := decay.At(tick - tt.Last)
+			tt.Dc *= f
+			tt.S *= f
+			tt.Q *= f
+			tt.Last = tick
+		}
+		tt.Dc++
+		tt.S += m
+		tt.Q += m * m
+	}
+	// Pass 2: resolve every key to its cell and fold the point in, one
+	// call-free loop inside the table so the independent index and
+	// cell-line misses of neighboring subspaces overlap; the post-touch
+	// densities come back in the dense dcs array. Slots stay valid
+	// across the inserts (appends never move existing cells).
+	tbl.TouchBatch(decay, tick, keys, mags, slots, dcs)
+	// Pass 3: representatives and verdicts — a purely sequential walk
+	// over states, reps and dcs; the only random access left is the
+	// rare outlyingSlow call. The cheap all-measures-pass verdict exit
+	// is decided inline — one multiply and three compares, no division
+	// — and only cells that flag on RD, sit under the populated floor,
+	// or fall below the uniform expectation (rd < 1, the gate for the
+	// costlier IRSD/IkRD measures) take the outlyingSlow call.
+	out := false
+	rdThr := cfg.RDThreshold
+	warmup := cfg.Warmup
+	k := cfg.K
+	rb := 0
+	for li := range s.states {
+		st := &s.states[li]
+		key := keys[li]
+		dc := dcs[li]
+		repKey := s.repKeys[rb : rb+k]
+		repDc := s.repDcs[rb : rb+k]
+		rb += k
+		// Fade the representative densities to the current tick in
+		// strides (decay factors compose, so one batched multiply per
+		// stride is exact up to rounding).
+		if dt := tick - st.repsLast; dt >= repDecayStride {
+			f := decay.At(dt)
+			for i := range repDc {
+				repDc[i] *= f
+			}
+			st.repMin *= f
+			st.repsLast = tick
+		}
+		// Representative update behind the cached-minimum gate: a
+		// touch with dc ≤ repMin can only be the minimum slot
+		// refreshing itself with its unchanged density, a no-op. Past
+		// the gate, refresh the slot this cell already holds (found
+		// branchlessly for the default K, see processBatch) or
+		// displace the sparsest representative, recomputing the cached
+		// minimum when it was the one written.
+		if dc > st.repMin {
+			found := -1
+			if k == 3 {
+				if repKey[2] == key {
+					found = 2
+				}
+				if repKey[1] == key {
+					found = 1
+				}
+				if repKey[0] == key {
+					found = 0
+				}
+			} else {
+				for i := range repKey {
+					if repKey[i] == key {
+						found = i
+						break
+					}
+				}
+			}
+			if found < 0 {
+				found = int(st.repMinI)
+				repKey[found] = key
+			}
+			repDc[found] = dc
+			if found == int(st.repMinI) {
+				st.repMin = repDc[0]
+				st.repMinI = 0
+				for i := 1; i < k; i++ {
+					if repDc[i] < st.repMin {
+						st.repMin = repDc[i]
+						st.repMinI = int32(i)
+					}
+				}
+			}
+		}
+		tot := st.total.Dc
+		if tot < warmup {
+			continue
+		}
+		// rd := dc * phiPow / tot, compared multiplicatively: the flag
+		// test rd < RDThreshold and the IRSD/IkRD gate rd < 1 become
+		// one multiply each instead of a division per subspace.
+		lhs := dc * st.phiPow
+		if lhs < rdThr*tot || dc < st.popFloor {
+			out = true
+		} else if lhs < tot && s.outlyingSlow(st, li, key, tbl.CellAt(slots[li]).Mean(), tot, st.total.S, st.total.Q) {
 			out = true
 		}
 	}
@@ -149,7 +356,18 @@ func (s *shard) processPoint(point []float64, tick uint64) bool {
 }
 
 // processBatch runs a whole batch through the shard, recording verdicts
-// in the shard-local bitset (merged by the dispatcher).
+// in the shard-local bitset (OR-merged word-wise by the dispatcher).
+//
+// The batch is processed subspace-major: for each owned subspace, all n
+// points run through the same three passes processPoint uses, before
+// moving to the next subspace. One subspace's points revisit a small
+// recurring cell set, so its index buckets, cell lines and
+// representative set stay L1-resident across the whole batch — where
+// the point-major order re-streamed the entire cell table (hundreds of
+// KiB) once per point. Every per-(subspace, point) computation is the
+// same as in processPoint and runs in the same per-point tick order
+// within a subspace, so verdicts are identical; only the interleaving
+// across subspaces — which shares no state — differs.
 func (s *shard) processBatch(jb job) {
 	words := (jb.n + 63) >> 6
 	if cap(s.verdict) < words {
@@ -160,11 +378,140 @@ func (s *shard) processBatch(jb job) {
 			s.verdict[i] = 0
 		}
 	}
-	d := s.det.cfg.Dims
-	for i := 0; i < jb.n; i++ {
-		if s.processPoint(jb.flat[i*d:(i+1)*d], jb.t0+uint64(i)+1) {
-			s.verdict[i>>6] |= 1 << (uint(i) & 63)
+	n := jb.n
+	if cap(s.bMags) < n {
+		s.bKeys = make([]uint64, n)
+		s.bMags = make([]float64, n)
+		s.bSS = make([]float64, n)
+		s.bDcs = make([]float64, n)
+	}
+	keys := s.bKeys[:n]
+	mags := s.bMags[:n]
+	ss := s.bSS[:n]
+	dcs := s.bDcs[:n]
+	verdict := s.verdict
+	decay := s.det.decay
+	cfg := &s.det.cfg
+	tbl := s.table
+	rdThr := cfg.RDThreshold
+	warmup := cfg.Warmup
+	k := cfg.K
+	f1 := decay.At(1)
+	flatT, planeT := jb.flatT, jb.planeT
+	rb := 0
+	for li := range s.states {
+		st := &s.states[li]
+		repKey := s.repKeys[rb : rb+k]
+		repDc := s.repDcs[rb : rb+k]
+		rb += k
+		// Pass A+B, fused inside the table: assemble the subspace's
+		// cell key per point from the member dimensions' transposed
+		// columns, probe and fold — the subspace's few recurring
+		// buckets and cell lines stay cached across the run, and the
+		// magnitudes/slots/densities come back in dense arrays.
+		cc := s.colC[:0]
+		vv := s.colV[:0]
+		for j := 0; j < int(st.size); j++ {
+			off := int(st.dims[j]) * n
+			cc = append(cc, planeT[off:off+n])
+			vv = append(vv, flatT[off:off+n])
 		}
+		tbl.TouchCols(decay, jb.t0, st.keyBase, cc, vv, keys, mags, ss, dcs)
+		// Pass C: totals fold (the body of PCS.Touch, inlined), IkRD
+		// representative upkeep and verdicts, per point in tick order —
+		// the subspace totals trajectory each point's verdict compares
+		// against is exactly the pointwise one. The subspace's scalar
+		// state lives in locals across the loop (written back once) so
+		// the per-point work reads registers, not the state struct.
+		tt := &st.total
+		tdc, ts, tq, tlast := tt.Dc, tt.S, tt.Q, tt.Last
+		repMin, repMinI, repsLast := st.repMin, st.repMinI, st.repsLast
+		phiPow, popFloor := st.phiPow, st.popFloor
+		tick := jb.t0
+		for i := 0; i < n; i++ {
+			tick++
+			m := mags[i]
+			// Totals see every tick, so after the first point the fade
+			// gap is exactly one — the hoisted f1 skips the table
+			// lookup on the steady path.
+			if tlast+1 == tick {
+				tdc *= f1
+				ts *= f1
+				tq *= f1
+				tlast = tick
+			} else if tlast != tick {
+				f := decay.At(tick - tlast)
+				tdc *= f
+				ts *= f
+				tq *= f
+				tlast = tick
+			}
+			tdc++
+			ts += m
+			tq += m * m
+			key := keys[i]
+			dc := dcs[i]
+			if dt := tick - repsLast; dt >= repDecayStride {
+				f := decay.At(dt)
+				for j := range repDc {
+					repDc[j] *= f
+				}
+				repMin *= f
+				repsLast = tick
+			}
+			// Representative update behind the cached-minimum gate;
+			// see processPoint for the reasoning.
+			if dc > repMin {
+				found := -1
+				if k == 3 {
+					// Branchless slot find for the default K:
+					// conditional moves instead of a loop whose exit
+					// position the predictor cannot guess.
+					if repKey[2] == key {
+						found = 2
+					}
+					if repKey[1] == key {
+						found = 1
+					}
+					if repKey[0] == key {
+						found = 0
+					}
+				} else {
+					for j := range repKey {
+						if repKey[j] == key {
+							found = j
+							break
+						}
+					}
+				}
+				if found < 0 {
+					found = int(repMinI)
+					repKey[found] = key
+				}
+				repDc[found] = dc
+				if found == int(repMinI) {
+					repMin = repDc[0]
+					repMinI = 0
+					for j := 1; j < k; j++ {
+						if repDc[j] < repMin {
+							repMin = repDc[j]
+							repMinI = int32(j)
+						}
+					}
+				}
+			}
+			if tdc < warmup {
+				continue
+			}
+			lhs := dc * phiPow
+			if lhs < rdThr*tdc || dc < popFloor {
+				verdict[i>>6] |= 1 << (uint(i) & 63)
+			} else if lhs < tdc && s.outlyingSlow(st, li, key, ss[i]/dc, tdc, ts, tq) {
+				verdict[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		tt.Dc, tt.S, tt.Q, tt.Last = tdc, ts, tq, tlast
+		st.repMin, st.repMinI, st.repsLast = repMin, repMinI, repsLast
 	}
 }
 
@@ -175,8 +522,10 @@ func (s *shard) processBatch(jb job) {
 // the fixed group dominates the table) are remembered during the same
 // pass and classified against their subspace's average afterwards, so
 // the extra work is proportional to the evolved group's cells, not the
-// table. Runs on the dispatcher goroutine with workers idle; returns
-// the eviction count.
+// table. Each subspace is owned by exactly one shard, so concurrent
+// shard sweeps write disjoint perSub entries — the dispatcher may run
+// all shards' sweeps in parallel on the shard workers. Returns the
+// eviction count.
 func (s *shard) sweep(tick uint64, eps float64, perSub []sst.SubspaceStats) int {
 	tmpl := s.det.tmpl
 	collect := s.det.cfg.Evolver != nil
@@ -190,6 +539,9 @@ func (s *shard) sweep(tick uint64, eps float64, perSub []sst.SubspaceStats) int 
 			s.sweepEvolved = append(s.sweepEvolved, evolvedCell{sid: sid, dc: dc})
 		}
 	})
+	if evicted > 0 {
+		s.purgeEvictedReps()
+	}
 	if collect {
 		ratio := s.det.cfg.SweepSparseRatio
 		for _, c := range s.sweepEvolved {
@@ -202,77 +554,80 @@ func (s *shard) sweep(tick uint64, eps float64, perSub []sst.SubspaceStats) int 
 	return evicted
 }
 
-// maintainReps keeps the k densest cells of the subspace as IkRD
-// representatives: an O(k) update per touch, never a table scan. Each
-// slot's density is faded to the current tick before comparison so
-// representatives of vanished clusters decay and get evicted.
-func (s *shard) maintainReps(st *subspaceState, key uint64, dc float64, tick uint64) {
-	if dt := tick - st.repsLast; dt >= repDecayStride {
-		f := s.det.decay.At(dt)
-		for i := range st.repDc {
-			st.repDc[i] *= f
+// purgeEvictedReps drops representative entries whose cells the sweep
+// just evicted and refreshes each affected subspace's cached minimum.
+// This keeps the hot path's repMin gate sound: the gate's invariant —
+// a representative's stored density never exceeds its cell's current
+// density — holds for live cells but breaks when an evicted cell is
+// re-created from zero, which would otherwise leave a ghost
+// representative pinning a dead cluster into IkRD for thousands of
+// ticks. Cells are only evicted by sweeps, so checking here re-
+// establishes the invariant for the whole epoch. O(subspaces · K)
+// probes, once per sweep.
+func (s *shard) purgeEvictedReps() {
+	k := s.det.cfg.K
+	for li := range s.states {
+		st := &s.states[li]
+		repKey := s.repKeys[li*k : li*k+k]
+		repDc := s.repDcs[li*k : li*k+k]
+		changed := false
+		for i, key := range repKey {
+			if key != repEmpty && !s.table.Contains(key) {
+				repKey[i] = repEmpty
+				repDc[i] = 0
+				changed = true
+			}
 		}
-		st.repsLast = tick
-	}
-	minI := 0
-	for i := range st.repKey {
-		if st.repKey[i] == key {
-			st.repDc[i] = dc
-			return
+		if changed {
+			st.repMin = repDc[0]
+			st.repMinI = 0
+			for i := 1; i < k; i++ {
+				if repDc[i] < st.repMin {
+					st.repMin = repDc[i]
+					st.repMinI = int32(i)
+				}
+			}
 		}
-		if st.repDc[i] < st.repDc[minI] {
-			minI = i
-		}
-	}
-	if dc > st.repDc[minI] {
-		st.repKey[minI] = key
-		st.repDc[minI] = dc
 	}
 }
 
-// outlying evaluates the PCS-derived measures for the cell the current
-// point landed in. The point is an outlier in this subspace if any
-// enabled measure falls below its threshold. The costlier IRSD/IkRD
-// evaluations are gated behind RD < 1 (a cell at or above the uniform
-// expectation is not sparse in their sense), but the populated-RD test
-// deliberately runs before that gate: when a subspace's mass
-// concentrates in few cells, a cell can sit at the uniform expectation
-// (RD ≥ 1) yet still be far below its populated peers.
-func (s *shard) outlying(st *subspaceState, key uint64, p *core.PCS) bool {
+// refreshPopFloors recomputes every owned subspace's precomputed
+// arity-aware RD floor from the detector's per-arity populated
+// averages. Called from the epoch path after each sweep publishes new
+// averages; the floor is zero when the test is disabled or the arity
+// has no swept cells yet, which disables the hot path's compare.
+func (s *shard) refreshPopFloors() {
+	thr := s.det.cfg.RDPopulatedThreshold
+	if thr <= 0 {
+		return
+	}
+	for i := range s.states {
+		st := &s.states[i]
+		st.popFloor = thr * s.det.popAvg[st.size]
+	}
+}
+
+// outlyingSlow evaluates the measures the inline verdict fast path
+// cannot decide: the RD flag, the arity-aware populated-RD flag and
+// the RD < 1 exit run inline (when a subspace's mass concentrates in
+// few cells, a cell can sit at or above the uniform expectation yet
+// still be far below its populated peers, so the populated floor is
+// checked before the rd < 1 gate), and only cells below the uniform
+// expectation reach the IRSD/IkRD evaluations here. The cell's mean
+// member magnitude and the subspace totals are passed as scalars,
+// snapshotted at the point's tick: the batch path keeps the totals in
+// registers (st.total is written back only at batch end) and the cell
+// line keeps absorbing later points of the same batch, so neither may
+// be re-read here.
+func (s *shard) outlyingSlow(st *subspaceState, li int, key uint64, cellMean, tdc, ts, tq float64) bool {
 	cfg := &s.det.cfg
-	// Relative Density: cell density over the expected density if the
-	// subspace's decayed weight were spread uniformly over its φ^k
-	// cells. Effective for low arities; see Config.RDThreshold for
-	// the arity-dependent floor that makes IkRD/IRSD carry detection
-	// in higher-arity subspaces.
-	rd := p.Dc * st.phiPow / st.total.Dc
-	if rd < cfg.RDThreshold {
-		return true
-	}
-	// Arity-aware RD: the same density compared to the average
-	// *populated* cell of same-arity subspaces instead of the uniform
-	// expectation, sidestepping the φ^k floor that blinds the uniform
-	// test in multi-dimensional subspaces (see Config.RDThreshold).
-	// The reference is the latest sweep's average, used undecayed:
-	// populated cells are refreshed by the live stream, so their
-	// average holds roughly steady between sweeps (for a dying
-	// subspace it overestimates, which only suppresses flags). Zero
-	// until the first sweep covering this arity.
-	if cfg.RDPopulatedThreshold > 0 {
-		if avg := s.det.popAvg[st.size]; avg > 0 && p.Dc < cfg.RDPopulatedThreshold*avg {
-			return true
-		}
-	}
-	if rd >= 1 {
-		return false
-	}
-	if cfg.IRSDThreshold > 0 {
+	if cfg.IRSDThreshold > 0 && tdc > 0 {
 		// Inverse Relative Standard Deviation: how far the cell's
 		// mean member magnitude sits from the subspace mean, in
 		// subspace standard deviations, mapped to (0,1] by 1/(1+z).
-		sigma := st.total.Sigma()
-		if sigma > 0 {
-			z := math.Abs(p.Mean()-st.total.Mean()) / sigma
+		mu := ts / tdc
+		if v := tq/tdc - mu*mu; v > 0 {
+			z := math.Abs(cellMean-mu) / math.Sqrt(v)
 			if 1/(1+z) < cfg.IRSDThreshold {
 				return true
 			}
@@ -283,9 +638,12 @@ func (s *shard) outlying(st *subspaceState, key uint64, p *core.PCS) bool {
 		// the cell to the subspace's k densest cells, normalized by
 		// the subspace's diameter and inverted so that far-from-
 		// everything cells score low.
+		k := cfg.K
+		repKey := s.repKeys[li*k : li*k+k]
+		repDc := s.repDcs[li*k : li*k+k]
 		sum, cnt := 0.0, 0
-		for i, rk := range st.repKey {
-			if st.repDc[i] <= 0 || rk == key {
+		for i, rk := range repKey {
+			if repDc[i] <= 0 || rk == key {
 				continue
 			}
 			dist := 0
