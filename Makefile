@@ -1,4 +1,4 @@
-.PHONY: build test bench microbench vet lint fuzz cover
+.PHONY: build test bench bench-compare microbench vet lint fuzz cover
 
 build:
 	go build ./...
@@ -28,6 +28,16 @@ cover:
 
 bench:
 	./scripts/bench.sh
+
+# Regression gate on the tracked perf baseline: run the benchmark grid
+# into a scratch artifact and diff it against the checked-in
+# BENCH_core.json — exits non-zero when any shared scenario loses more
+# than 10% points/sec (cmd/benchdiff; threshold and warn-only mode are
+# flags there). Override BENCHDUR for a quicker, noisier run.
+BENCHDUR ?= 2s
+bench-compare:
+	go run ./cmd/spotbench -out /tmp/BENCH_new.json -duration $(BENCHDUR)
+	go run ./cmd/benchdiff BENCH_core.json /tmp/BENCH_new.json
 
 # Hot-path microbenchmarks: the open-addressed cell table vs its
 # map-backed oracle (internal/core) and the detector's point/batch

@@ -1,0 +1,179 @@
+// Command benchdiff compares two BENCH_core.json artifacts — the
+// tracked performance baseline against a fresh run — and prints the
+// per-scenario points/sec delta plus the duplication statistics behind
+// the coalesced batch path. It exits non-zero when any scenario shared
+// by both reports regresses by more than the threshold, so `make
+// bench-compare` (and CI, warn-only there: shared runners are noisy and
+// often single-vCPU, which the printed num_cpu makes visible) can gate
+// perf work on the artifact instead of on eyeballs.
+//
+// Usage: benchdiff [-threshold 0.10] [-warn] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchRow is the slice of a spotbench throughput scenario benchdiff
+// cares about.
+type benchRow struct {
+	Name                  string  `json:"name"`
+	PointsPerSec          float64 `json:"points_per_sec"`
+	DistinctCellsPerBatch float64 `json:"distinct_cells_per_batch"`
+	CellDupRatio          float64 `json:"cell_dup_ratio"`
+}
+
+// benchReport is the slice of the BENCH_core.json schema benchdiff
+// reads; unknown fields are ignored so old and new artifact versions
+// stay comparable.
+type benchReport struct {
+	GitSHA     string     `json:"git_sha"`
+	NumCPU     int        `json:"num_cpu"`
+	Benchmarks []benchRow `json:"benchmarks"`
+}
+
+// delta is one compared scenario; distinct/dup carry the candidate's
+// duplication statistics when its artifact records them.
+type delta struct {
+	name      string
+	oldPts    float64
+	newPts    float64
+	pct       float64 // (new-old)/old, in percent
+	distinct  float64
+	dup       float64
+	regressed bool
+}
+
+// loadReport reads and decodes one artifact.
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks section", path)
+	}
+	return &r, nil
+}
+
+// diff compares the scenarios shared by both reports (matched by name,
+// baseline order) and flags every one whose points/sec fell by more
+// than threshold. A newly added grid point is not a regression, and a
+// baseline scenario absent from the candidate is not compared — but it
+// is returned in missing, so the gate's output says so instead of
+// silently shrinking (a renamed scenario, or a harness bug that stops
+// emitting its row, must not pass unseen).
+func diff(oldR, newR *benchReport, threshold float64) (out []delta, regressions int, missing []string) {
+	byName := make(map[string]benchRow, len(newR.Benchmarks))
+	for _, b := range newR.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, ob := range oldR.Benchmarks {
+		if ob.PointsPerSec <= 0 {
+			continue
+		}
+		nb, ok := byName[ob.Name]
+		if !ok {
+			missing = append(missing, ob.Name)
+			continue
+		}
+		d := delta{
+			name:     ob.Name,
+			oldPts:   ob.PointsPerSec,
+			newPts:   nb.PointsPerSec,
+			pct:      100 * (nb.PointsPerSec - ob.PointsPerSec) / ob.PointsPerSec,
+			distinct: nb.DistinctCellsPerBatch,
+			dup:      nb.CellDupRatio,
+		}
+		if nb.PointsPerSec < ob.PointsPerSec*(1-threshold) {
+			d.regressed = true
+			regressions++
+		}
+		out = append(out, d)
+	}
+	return out, regressions, missing
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative points/sec drop that counts as a regression")
+	warn := flag.Bool("warn", false, "report regressions but exit 0 (noisy or single-vCPU runners)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-warn] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldR, err := loadReport(flag.Arg(0))
+	if err == nil {
+		var newR *benchReport
+		newR, err = loadReport(flag.Arg(1))
+		if err == nil {
+			run(oldR, newR, *threshold, *warn)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}
+
+// run prints the comparison and exits per the regression verdict.
+func run(oldR, newR *benchReport, threshold float64, warn bool) {
+	short := func(sha string) string {
+		if len(sha) > 12 {
+			return sha[:12]
+		}
+		return sha
+	}
+	fmt.Printf("baseline  %s (num_cpu=%d)\ncandidate %s (num_cpu=%d)\n",
+		short(oldR.GitSHA), oldR.NumCPU, short(newR.GitSHA), newR.NumCPU)
+	if oldR.NumCPU == 1 || newR.NumCPU == 1 {
+		fmt.Println("note: a report was measured on 1 vCPU — shard-scaling scenarios are noise, per-point cost is the signal")
+	}
+	if oldR.NumCPU != newR.NumCPU {
+		fmt.Println("note: CPU budgets differ between reports; absolute deltas are not like-for-like")
+	}
+	deltas, regressions, missing := diff(oldR, newR, threshold)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: the reports share no scenarios")
+		os.Exit(2)
+	}
+	for _, d := range deltas {
+		dup := ""
+		if d.dup > 0 {
+			dup = fmt.Sprintf("  (%.0f distinct/batch ×%.1f dup)", d.distinct, d.dup)
+		}
+		mark := ""
+		if d.regressed {
+			mark = "  << REGRESSION"
+		}
+		fmt.Printf("  %-34s %10.0f -> %10.0f points/sec  %+6.1f%%%s%s\n",
+			d.name, d.oldPts, d.newPts, d.pct, dup, mark)
+	}
+	for _, name := range missing {
+		fmt.Printf("  %-34s present in baseline only  << MISSING\n", name)
+	}
+	if regressions == 0 && len(missing) == 0 {
+		fmt.Printf("ok: no scenario regressed more than %.0f%%\n", threshold*100)
+		return
+	}
+	// A vanished scenario fails the gate like a regression: a renamed
+	// grid point or a harness bug that stops emitting a row must not
+	// slip through ungated.
+	if regressions > 0 {
+		fmt.Printf("%d of %d scenarios regressed more than %.0f%%\n", regressions, len(deltas), threshold*100)
+	}
+	if len(missing) > 0 {
+		fmt.Printf("%d baseline scenarios missing from the candidate\n", len(missing))
+	}
+	if warn {
+		fmt.Println("warn-only mode: exiting 0")
+		return
+	}
+	os.Exit(1)
+}

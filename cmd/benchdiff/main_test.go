@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeReport drops a minimal artifact to disk for loadReport.
+func writeReport(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldReport = `{
+  "git_sha": "aaaa", "num_cpu": 4,
+  "benchmarks": [
+    {"name": "d=20/shards=1", "points_per_sec": 20000},
+    {"name": "d=50/shards=1", "points_per_sec": 10000},
+    {"name": "gone-scenario", "points_per_sec": 5000}
+  ]
+}`
+
+// TestDiffFlagsRegressions: a >threshold drop is a regression, a small
+// wobble and an improvement are not, and unmatched scenarios are
+// skipped rather than compared against zero.
+func TestDiffFlagsRegressions(t *testing.T) {
+	newReport := `{
+  "git_sha": "bbbb", "num_cpu": 4,
+  "benchmarks": [
+    {"name": "d=20/shards=1", "points_per_sec": 26000},
+    {"name": "d=50/shards=1", "points_per_sec": 8500},
+    {"name": "brand-new", "points_per_sec": 1}
+  ]
+}`
+	oldR, err := loadReport(writeReport(t, "old.json", oldReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newR, err := loadReport(writeReport(t, "new.json", newReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, regressions, missing := diff(oldR, newR, 0.10)
+	if len(deltas) != 2 {
+		t.Fatalf("compared %d scenarios, want 2 (shared only): %+v", len(deltas), deltas)
+	}
+	if regressions != 1 {
+		t.Fatalf("found %d regressions, want 1", regressions)
+	}
+	if len(missing) != 1 || missing[0] != "gone-scenario" {
+		t.Fatalf("missing = %v, want the baseline-only scenario reported", missing)
+	}
+	if deltas[0].name != "d=20/shards=1" || deltas[0].regressed {
+		t.Fatalf("improvement misclassified: %+v", deltas[0])
+	}
+	if deltas[1].name != "d=50/shards=1" || !deltas[1].regressed {
+		t.Fatalf("15%% drop not flagged at threshold 10%%: %+v", deltas[1])
+	}
+	if deltas[1].pct > -14 || deltas[1].pct < -16 {
+		t.Fatalf("delta percent = %v, want ≈ -15", deltas[1].pct)
+	}
+}
+
+// TestDiffThresholdBoundary: a drop exactly at the threshold is not a
+// regression — the gate fires strictly beyond it.
+func TestDiffThresholdBoundary(t *testing.T) {
+	newReport := `{
+  "git_sha": "bbbb", "num_cpu": 4,
+  "benchmarks": [
+    {"name": "d=20/shards=1", "points_per_sec": 18000},
+    {"name": "d=50/shards=1", "points_per_sec": 8999}
+  ]
+}`
+	oldR, err := loadReport(writeReport(t, "old.json", oldReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newR, err := loadReport(writeReport(t, "new.json", newReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, regressions, _ := diff(oldR, newR, 0.10)
+	if regressions != 1 {
+		t.Fatalf("found %d regressions, want 1 (only the 10.01%% drop)", regressions)
+	}
+}
+
+// TestLoadReportRejectsEmpty: an artifact without benchmarks is a
+// usage error, not a silent all-green diff.
+func TestLoadReportRejectsEmpty(t *testing.T) {
+	if _, err := loadReport(writeReport(t, "empty.json", `{"git_sha":"x"}`)); err == nil {
+		t.Fatal("empty report loaded without error")
+	}
+	if _, err := loadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded without error")
+	}
+}

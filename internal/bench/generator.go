@@ -80,6 +80,13 @@ type GenConfig struct {
 	// again, which is exactly the workload that needs epoch eviction.
 	// Explicit Centers are also re-randomized on drift.
 	DriftPeriod int
+	// Uniform replaces the clustered point body with draws uniform over
+	// the unit box — the adversarial no-structure workload where
+	// consecutive points share almost no projected cells, used to bound
+	// the overhead of optimizations (batch cell coalescing) that bank on
+	// duplication. Outlier planting and drift are disabled: nothing is
+	// sparse relative to uniform noise.
+	Uniform bool
 	// Seed makes the stream reproducible.
 	Seed int64
 }
@@ -150,6 +157,13 @@ func (g *Generator) placeCenters() {
 // LastOutlierDims).
 func (g *Generator) Next(buf []float64) bool {
 	cfg := &g.cfg
+	if cfg.Uniform {
+		g.count++
+		for i := 0; i < cfg.Dims; i++ {
+			buf[i] = g.rng.Float64()
+		}
+		return false
+	}
 	if cfg.DriftPeriod > 0 && g.count > 0 && g.count%cfg.DriftPeriod == 0 {
 		g.placeCenters()
 	}

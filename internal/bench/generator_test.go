@@ -257,3 +257,32 @@ func TestGeneratorDisplaceGroundTruth(t *testing.T) {
 		t.Fatalf("only %d outliers checked", checked)
 	}
 }
+
+// TestGeneratorUniform checks the adversarial no-structure mode: points
+// cover the unit box far more evenly than any clustered stream and no
+// outliers are planted.
+func TestGeneratorUniform(t *testing.T) {
+	const d, n = 4, 4000
+	cfg := DefaultGenConfig(d)
+	cfg.Uniform = true
+	cfg.OutlierRate = 0.5 // must be ignored
+	gen := NewGenerator(cfg)
+	buf := make([]float64, d)
+	var hits [8]int
+	for i := 0; i < n; i++ {
+		if gen.Next(buf) {
+			t.Fatal("uniform mode planted an outlier")
+		}
+		for _, x := range buf {
+			if x < 0 || x >= 1 {
+				t.Fatalf("point outside unit box: %v", x)
+			}
+		}
+		hits[int(buf[0]*8)]++
+	}
+	for i, h := range hits {
+		if h < n/8/2 || h > n/8*2 {
+			t.Fatalf("dimension 0 interval %d hit %d times over %d points — not uniform", i, h, n)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import "math/bits"
+
+// Grouper partitions a batch's cell keys into runs: all positions of the
+// batch that land in the same cell, chained in increasing batch order.
+// It is the grouping pass of the coalesced batch path — after key
+// assembly, one Group call replaces "one index probe per point" with
+// "one probe per distinct cell" downstream (PCSTable.TouchRuns), which
+// is where dense streams spend most of their duplicate work.
+//
+// The grouper is a reusable scratch structure: a small open-addressed
+// key index over the batch (power-of-two, ≤1/2 load, cleared per call)
+// plus first-seen-ordered group arrays and a per-position next chain.
+// All backing arrays are retained across calls, so steady state — the
+// same batch size over and over, as the detector's shards drive it —
+// performs zero heap allocations. Not safe for concurrent use; each
+// detector shard owns one.
+type Grouper struct {
+	slots []int32 // open-addressed key index: group index + 1, 0 = empty
+	shift uint    // home slot of a key = cellHash(key) >> shift
+
+	keys []uint64 // distinct cell keys, first-seen order
+	head []int32  // first batch position of each group's run
+	tail []int32  // last batch position of each group's run
+	next []int32  // next position of the same run, -1 ends it
+}
+
+// grouperMinSlots is the smallest key-index size; tiny sub-batches (an
+// epoch split can cut a batch to a handful of points) stay on one cache
+// line instead of resizing the index down.
+const grouperMinSlots = 16
+
+// Group partitions keys — one cell key per batch position, in tick
+// order — into per-cell runs, replacing any previous grouping. Runs
+// preserve batch order: walking a group's chain visits its positions in
+// increasing order, which is what keeps the downstream run fold on the
+// same tick trajectory as the pointwise path.
+func (g *Grouper) Group(keys []uint64) {
+	n := len(keys)
+	want := grouperMinSlots
+	for want < 2*n {
+		want <<= 1
+	}
+	if len(g.slots) < want {
+		g.slots = make([]int32, want)
+		g.shift = uint(64 - bits.TrailingZeros(uint(want)))
+	} else {
+		clear(g.slots)
+	}
+	if cap(g.next) < n {
+		g.next = make([]int32, n)
+		g.keys = make([]uint64, 0, n)
+		g.head = make([]int32, 0, n)
+		g.tail = make([]int32, 0, n)
+	}
+	g.next = g.next[:n]
+	g.keys = g.keys[:0]
+	g.head = g.head[:0]
+	g.tail = g.tail[:0]
+	mask := uint64(len(g.slots) - 1)
+	shift := g.shift
+	for i, key := range keys {
+		j := cellHash(key) >> shift
+		for {
+			s := g.slots[j]
+			if s == 0 {
+				g.slots[j] = int32(len(g.keys)) + 1
+				g.keys = append(g.keys, key)
+				g.head = append(g.head, int32(i))
+				g.tail = append(g.tail, int32(i))
+				g.next[i] = -1
+				break
+			}
+			if g.keys[s-1] == key {
+				g.next[g.tail[s-1]] = int32(i)
+				g.tail[s-1] = int32(i)
+				g.next[i] = -1
+				break
+			}
+			j = (j + 1) & mask
+		}
+	}
+}
+
+// Groups returns the number of distinct cells of the last Group call —
+// the batch's distinct-cell count, the duplication statistic the bench
+// harness reports per workload.
+func (g *Grouper) Groups() int { return len(g.keys) }
+
+// Key returns the cell key of group gi (0 ≤ gi < Groups), in first-seen
+// order.
+func (g *Grouper) Key(gi int) uint64 { return g.keys[gi] }
+
+// First returns the first batch position of group gi's run.
+func (g *Grouper) First(gi int) int { return int(g.head[gi]) }
+
+// Next returns the run successor of batch position i, or -1 at the end
+// of i's run.
+func (g *Grouper) Next(i int) int { return int(g.next[i]) }

@@ -347,6 +347,141 @@ func (t *PCSTable) TouchCols(d *DecayTable, t0 uint64, keyBase uint64, coordCols
 	}
 }
 
+// AssembleCols is the key-assembly stage of TouchCols factored out for
+// the coalesced batch path: one call packs every point of a batch into
+// its cell key under the subspace whose packed key base is keyBase, and
+// sums its projected magnitude, from the member dimensions' transposed
+// columns (entry i of column j is point i's interval index / raw value
+// in member dimension j). Keys land in keys and magnitudes in mags
+// (both len ≥ the column length). The caller then groups keys by cell
+// (Grouper) and folds each run with TouchRuns — where the fused
+// TouchCols probes the index once per point, this split probes once per
+// distinct cell. Zero heap allocations.
+func AssembleCols(keyBase uint64, coordCols [][]uint8, valCols [][]float64, keys []uint64, mags []float64) {
+	k := len(coordCols)
+	c0 := coordCols[0]
+	n := len(c0)
+	v0 := valCols[0][:n]
+	var c1, c2 []uint8
+	var v1, v2 []float64
+	if k >= 2 {
+		c1, v1 = coordCols[1][:n], valCols[1][:n]
+	}
+	if k >= 3 {
+		c2, v2 = coordCols[2][:n], valCols[2][:n]
+	}
+	keys = keys[:n]
+	mags = mags[:n]
+	// The arity switch is loop-invariant (see TouchCols); arities 1–3
+	// assemble with constant shifts.
+	switch k {
+	case 1:
+		for i := 0; i < n; i++ {
+			keys[i] = keyBase | uint64(c0[i])
+			mags[i] = v0[i]
+		}
+	case 2:
+		for i := 0; i < n; i++ {
+			keys[i] = keyBase | uint64(c0[i]) | uint64(c1[i])<<CoordBits
+			mags[i] = v0[i] + v1[i]
+		}
+	case 3:
+		for i := 0; i < n; i++ {
+			keys[i] = keyBase | uint64(c0[i]) | uint64(c1[i])<<CoordBits | uint64(c2[i])<<(2*CoordBits)
+			mags[i] = v0[i] + v1[i] + v2[i]
+		}
+	default:
+		for i := 0; i < n; i++ {
+			key := keyBase
+			var m float64
+			for j := 0; j < k; j++ {
+				key |= uint64(coordCols[j][i]) << (uint(j) * CoordBits)
+				m += valCols[j][i]
+			}
+			keys[i] = key
+			mags[i] = m
+		}
+	}
+}
+
+// TouchRuns is the coalesced counterpart of TouchCols: the caller has
+// already assembled the batch's cell keys for one subspace
+// (AssembleCols) and grouped them into per-cell runs (Grouper.Group);
+// TouchRuns probes the index once per distinct cell and folds that
+// cell's whole run — point i touches at tick t0+i+1 with magnitude
+// mags[i] — with the summary held in registers across the run (the body
+// of PCS.TouchRun, inlined). Post-touch magnitude sums and densities
+// land in ss[i]/dcs[i] at the run positions, so the caller's verdict
+// pass reads the exact per-point trajectory of the pointwise path:
+// within a cell the ticks fold in increasing order and across cells the
+// summaries share no state, which is the whole bit-identical argument.
+// Runs of a dense stream average many points per cell, so the per-point
+// cost drops to the fold itself; misses and rehash-in-flight lookups
+// fall back to GetSlot as in TouchCols. Zero heap allocations when
+// every cell exists.
+func (t *PCSTable) TouchRuns(d *DecayTable, t0 uint64, g *Grouper, mags, ss, dcs []float64) {
+	buckets := t.buckets
+	cells := t.cells
+	var mask uint64
+	var shift uint
+	if buckets != nil {
+		mask = uint64(len(buckets) - 1)
+		shift = t.shift
+	}
+	for gi := range g.keys {
+		key := g.keys[gi]
+		first := g.head[gi]
+		tick0 := t0 + uint64(first) + 1
+		var slot uint32
+		if buckets == nil {
+			slot = t.GetSlot(key, tick0)
+			buckets = t.buckets
+			cells = t.cells
+			mask = uint64(len(buckets) - 1)
+			shift = t.shift
+		} else {
+			j := cellHash(key) >> shift
+			for {
+				b := buckets[j]
+				if b.key == key && b.ref != 0 {
+					slot = b.ref - 1
+					break
+				}
+				if b.ref == 0 {
+					slot = t.GetSlot(key, tick0)
+					buckets = t.buckets
+					cells = t.cells
+					mask = uint64(len(buckets) - 1)
+					shift = t.shift
+					break
+				}
+				j = (j + 1) & mask
+			}
+		}
+		// The body of PCS.TouchRun, inlined: the cell is loaded and
+		// stored once per run instead of once per point.
+		p := &cells[slot]
+		dc, sv, q, last := p.Dc, p.S, p.Q, p.Last
+		for i := first; i >= 0; i = g.next[i] {
+			tick := t0 + uint64(i) + 1
+			if last != tick {
+				f := d.At(tick - last)
+				dc *= f
+				sv *= f
+				q *= f
+				last = tick
+			}
+			m := mags[i]
+			dc++
+			sv += m
+			q += m * m
+			ss[i] = sv
+			dcs[i] = dc
+		}
+		p.Dc, p.S, p.Q, p.Last = dc, sv, q, last
+	}
+}
+
 // At returns the key and summary at dense position i (0 ≤ i < Len).
 // Positions are stable between sweeps but not across them.
 func (t *PCSTable) At(i int) (uint64, *PCS) { return t.keys[i], &t.cells[i] }

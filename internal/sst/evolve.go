@@ -150,6 +150,19 @@ type TopSparseConfig struct {
 	// group, and a member whose swept sparse fraction drops below it is
 	// demoted. 0 defaults to 0.02.
 	MinScore float64
+	// SeedFromBase, when positive, derives up to this many candidate
+	// subspaces per epoch from the sparsest base cells of the sweep
+	// snapshot before blind sampling spends the Explore budget: for
+	// each of the SeedFromBase lowest-density cells, the Arity
+	// dimensions in which the cell deviates farthest from the
+	// density-weighted mean interval become one candidate. A sparse
+	// base cell is sparse *because* of the dimensions in which it sits
+	// away from the data mass, so the candidates point at exactly the
+	// projections where the paper's sparse-subspace structure lives —
+	// at d where C(d, Arity) dwarfs Explore, the guided candidates
+	// find planted structure epochs before uniform sampling draws it.
+	// 0 disables (blind sampling only). Deterministic: no RNG involved.
+	SeedFromBase int
 	// Seed fixes the candidate-sampling RNG so runs are reproducible.
 	Seed int64
 }
@@ -197,6 +210,9 @@ func NewTopSparse(cfg TopSparseConfig) (*TopSparse, error) {
 	}
 	if cfg.MinScore == 0 {
 		cfg.MinScore = 0.02
+	}
+	if cfg.SeedFromBase < 0 {
+		return nil, fmt.Errorf("sst: SeedFromBase must be non-negative, got %d", cfg.SeedFromBase)
 	}
 	return &TopSparse{
 		cfg:   cfg,
@@ -268,8 +284,17 @@ func (e *TopSparse) Evolve(t *Template, stats *EpochStats) Evolution {
 	}
 	d := t.SpaceDims()
 	if n, err := binomial(d, e.cfg.Arity); err == nil && n <= e.cfg.Explore {
+		// Exhaustive enumeration already scores every candidate a seed
+		// could propose, so seeding here would only duplicate work.
 		e.enumerate(e.comb, 0, 0, d, consider)
 	} else {
+		// Guided candidates first: they are deterministic and few, and
+		// the promotion loop below takes the highest scores regardless
+		// of which pass proposed them, so seeding never crowds out a
+		// better blind draw — it only adds informed ones.
+		if e.cfg.SeedFromBase > 0 {
+			e.seedFromBase(d, stats, consider)
+		}
 		for i := 0; i < e.cfg.Explore; i++ {
 			e.sample(d)
 			consider(e.comb)
@@ -330,6 +355,81 @@ func (e *TopSparse) score(dims []uint16, stats *EpochStats) (float64, bool) {
 		}
 	}
 	return float64(sparse) / float64(len(e.hist)), true
+}
+
+// seedFromBase hands consider up to SeedFromBase candidate dimension
+// sets derived from the sparsest base cells of the snapshot: for each
+// such cell, the Arity dimensions in which the cell's interval sits
+// farthest from the density-weighted mean interval of the stream. The
+// pass is a deterministic function of the snapshot (ties break on
+// snapshot order and dimension index), so shard-count invariance of
+// evolution is preserved. Runs on the epoch path — the few transient
+// slices here never touch ingestion.
+func (e *TopSparse) seedFromBase(d int, stats *EpochStats, consider func([]uint16)) {
+	cells := stats.BaseCells
+	arity := e.cfg.Arity
+	if len(cells) == 0 || d < arity {
+		return
+	}
+	// Density-weighted mean interval per dimension — where the data
+	// mass sits, the reference a sparse cell deviates from.
+	mean := make([]float64, d)
+	total := 0.0
+	for i := range cells {
+		bc := &cells[i]
+		for dim := 0; dim < d; dim++ {
+			mean[dim] += bc.Dc * float64(bc.Coords[dim])
+		}
+		total += bc.Dc
+	}
+	if total <= 0 {
+		return
+	}
+	for dim := range mean {
+		mean[dim] /= total
+	}
+	// The SeedFromBase lowest-density cells, ties on snapshot order
+	// (the detector sorts the snapshot by coordinates).
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cells[order[a]].Dc < cells[order[b]].Dc
+	})
+	seeds := e.cfg.SeedFromBase
+	if seeds > len(order) {
+		seeds = len(order)
+	}
+	taken := make([]bool, d)
+	for _, ci := range order[:seeds] {
+		bc := &cells[ci]
+		// Top-Arity dimensions by deviation from the mean interval,
+		// ties on the lower dimension index.
+		for i := range taken {
+			taken[i] = false
+		}
+		comb := e.comb[:0]
+		for j := 0; j < arity; j++ {
+			best, bestDev := -1, -1.0
+			for dim := 0; dim < d; dim++ {
+				if taken[dim] {
+					continue
+				}
+				dev := float64(bc.Coords[dim]) - mean[dim]
+				if dev < 0 {
+					dev = -dev
+				}
+				if dev > bestDev {
+					best, bestDev = dim, dev
+				}
+			}
+			taken[best] = true
+			comb = append(comb, uint16(best))
+		}
+		sort.Slice(comb, func(a, b int) bool { return comb[a] < comb[b] })
+		consider(comb)
+	}
 }
 
 // enumerate walks every sorted Arity-combination of [0,d), handing each

@@ -138,6 +138,16 @@ type Config struct {
 	// results are bit-identical either way; the flag exists to measure
 	// the pause difference and to debug with a single-threaded sweep.
 	SerialSweep bool
+	// NoCoalesce disables batch cell coalescing: ProcessBatch then
+	// always takes the fused one-probe-per-point TouchCols path instead
+	// of grouping each (subspace, batch) by cell and probing once per
+	// distinct cell. Coalescing is on by default with a per-subspace
+	// adaptive gate that already falls back on duplication-free
+	// workloads, and both paths fold identical arithmetic in identical
+	// per-cell tick order — verdicts are bit-identical — so the flag
+	// exists to measure the coalescing win (the bench harness records
+	// both) and to debug with the simpler path.
+	NoCoalesce bool
 }
 
 // DefaultConfig returns a starting configuration for a d-dimensional

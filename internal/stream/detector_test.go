@@ -97,14 +97,18 @@ func TestShardInvariance(t *testing.T) {
 }
 
 // TestBatchMatchesPointwise checks ProcessBatch produces exactly the
-// verdicts of point-by-point Process on the same stream.
+// verdicts of point-by-point Process on the same stream — with batch
+// cell coalescing on (the default) and with the Config.NoCoalesce
+// escape hatch forcing the fused per-point path, pinning the three-way
+// equivalence the coalesced fold argues for.
 func TestBatchMatchesPointwise(t *testing.T) {
 	const d, n, batch = 8, 2048, 256
-	mk := func() *Detector {
+	mk := func(noCoalesce bool) *Detector {
 		cfg := DefaultConfig(d)
 		cfg.MaxSubspaceDim = 2
 		cfg.Shards = 4
 		cfg.Warmup = 100
+		cfg.NoCoalesce = noCoalesce
 		det, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -116,26 +120,35 @@ func TestBatchMatchesPointwise(t *testing.T) {
 	labels := make([]bool, n)
 	gen.Fill(flat, labels, n)
 
-	pointwise := mk()
+	pointwise := mk(false)
 	defer pointwise.Close()
 	want := make([]bool, n)
 	for i := 0; i < n; i++ {
 		want[i] = pointwise.Process(flat[i*d : (i+1)*d])
 	}
 
-	batched := mk()
-	defer batched.Close()
-	got := make([]bool, n)
-	for off := 0; off < n; off += batch {
-		batched.ProcessBatch(flat[off*d:(off+batch)*d], got[off:off+batch])
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("verdict for point %d: batch=%v pointwise=%v", i, got[i], want[i])
+	for _, noCoalesce := range []bool{false, true} {
+		batched := mk(noCoalesce)
+		defer batched.Close()
+		got := make([]bool, n)
+		for off := 0; off < n; off += batch {
+			batched.ProcessBatch(flat[off*d:(off+batch)*d], got[off:off+batch])
 		}
-	}
-	if pointwise.Tick() != batched.Tick() {
-		t.Fatalf("tick mismatch: %d vs %d", pointwise.Tick(), batched.Tick())
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("verdict for point %d (NoCoalesce=%v): batch=%v pointwise=%v", i, noCoalesce, got[i], want[i])
+			}
+		}
+		if pointwise.Tick() != batched.Tick() {
+			t.Fatalf("tick mismatch (NoCoalesce=%v): %d vs %d", noCoalesce, pointwise.Tick(), batched.Tick())
+		}
+		s := batched.Stats()
+		if noCoalesce && s.CoalesceGroupings != 0 {
+			t.Fatalf("NoCoalesce detector recorded %d grouping passes, want 0", s.CoalesceGroupings)
+		}
+		if !noCoalesce && s.CoalesceGroupings == 0 {
+			t.Fatal("coalescing detector recorded no grouping passes on a clustered stream")
+		}
 	}
 }
 

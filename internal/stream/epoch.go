@@ -242,23 +242,46 @@ type Stats struct {
 	// Examples is the number of labeled outlier examples currently
 	// retained for supervised evolution.
 	Examples int
+	// CoalescedPoints, CoalescedDistinct and CoalesceGroupings describe
+	// the batch-coalescing path's duplication: across every grouping
+	// pass (one per subspace per sub-batch, when the coalesced path
+	// ran), how many point touches were folded, how many distinct cells
+	// they collapsed into, and how many passes there were.
+	// CoalescedDistinct/CoalesceGroupings is the average distinct-cell
+	// count per (subspace, batch) and CoalescedPoints/CoalescedDistinct
+	// the duplication ratio — the factor by which coalescing cuts index
+	// probes on this workload. All zero in pointwise mode, with
+	// Config.NoCoalesce set, or when the adaptive gate routed every
+	// subspace to the fused path.
+	CoalescedPoints   uint64
+	CoalescedDistinct uint64
+	CoalesceGroupings uint64
 }
 
 // Stats returns the current snapshot. Safe to call between
 // Process/ProcessBatch calls only.
 func (d *Detector) Stats() Stats {
+	var coalPoints, coalDistinct, coalGroupings uint64
+	for _, sh := range d.shards {
+		coalPoints += sh.coalPoints
+		coalDistinct += sh.coalDistinct
+		coalGroupings += sh.coalGroupings
+	}
 	return Stats{
-		Tick:             d.tick,
-		BaseCells:        d.BaseCells(),
-		ProjectedCells:   d.ProjectedCells(),
-		SummaryEntries:   d.BaseCells() + d.ProjectedCells(),
-		Sweeps:           d.counters.sweeps,
-		SweepNanos:       d.counters.sweepNanos,
-		EvictedProjected: d.counters.evictedProjected,
-		EvictedBase:      d.counters.evictedBase,
-		EvolvedActive:    d.tmpl.EvolvedCount(),
-		Promoted:         d.counters.promoted,
-		Demoted:          d.counters.demoted,
-		Examples:         len(d.examples),
+		Tick:              d.tick,
+		BaseCells:         d.BaseCells(),
+		ProjectedCells:    d.ProjectedCells(),
+		SummaryEntries:    d.BaseCells() + d.ProjectedCells(),
+		Sweeps:            d.counters.sweeps,
+		SweepNanos:        d.counters.sweepNanos,
+		EvictedProjected:  d.counters.evictedProjected,
+		EvictedBase:       d.counters.evictedBase,
+		EvolvedActive:     d.tmpl.EvolvedCount(),
+		Promoted:          d.counters.promoted,
+		Demoted:           d.counters.demoted,
+		Examples:          len(d.examples),
+		CoalescedPoints:   coalPoints,
+		CoalescedDistinct: coalDistinct,
+		CoalesceGroupings: coalGroupings,
 	}
 }

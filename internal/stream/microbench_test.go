@@ -9,11 +9,12 @@ import (
 // microbenchDetector builds a d=20 detector with populated tables and
 // sweeps pushed beyond the horizon, so the benchmarks and alloc gates
 // time the steady-state ingestion path alone.
-func microbenchDetector(tb testing.TB, shards int) (*Detector, []float64, []bool) {
+func microbenchDetector(tb testing.TB, shards int, noCoalesce bool) (*Detector, []float64, []bool) {
 	const d, batch = 20, 512
 	cfg := DefaultConfig(d)
 	cfg.Shards = shards
 	cfg.EpochTicks = 1 << 40 // no sweep inside the measured window
+	cfg.NoCoalesce = noCoalesce
 	det, err := New(cfg)
 	if err != nil {
 		tb.Fatal(err)
@@ -33,7 +34,7 @@ func microbenchDetector(tb testing.TB, shards int) (*Detector, []float64, []bool
 // through every SST subspace, reported with allocations (steady state
 // must be zero — TestProcessZeroAllocs is the hard gate).
 func BenchmarkProcessPoint(b *testing.B) {
-	det, flat, _ := microbenchDetector(b, 1)
+	det, flat, _ := microbenchDetector(b, 1, false)
 	defer det.Close()
 	d := 20
 	points := len(flat) / d
@@ -46,11 +47,21 @@ func BenchmarkProcessPoint(b *testing.B) {
 
 // BenchmarkProcessBatch measures the batch hot path (subspace-major
 // tiling, discretization plane, word-wise verdict merge) at 1 and 4
-// shards, reported with allocations.
+// shards with cell coalescing on (the default), plus the shards=1 grid
+// point with Config.NoCoalesce forcing the fused per-point path — the
+// coalescing win on a clustered stream is the ratio of the two.
 func BenchmarkProcessBatch(b *testing.B) {
-	for _, shards := range []int{1, 4} {
-		b.Run(map[int]string{1: "shards=1", 4: "shards=4"}[shards], func(b *testing.B) {
-			det, flat, out := microbenchDetector(b, shards)
+	for _, v := range []struct {
+		name       string
+		shards     int
+		noCoalesce bool
+	}{
+		{"shards=1", 1, false},
+		{"shards=4", 4, false},
+		{"shards=1/nocoalesce", 1, true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			det, flat, out := microbenchDetector(b, v.shards, v.noCoalesce)
 			defer det.Close()
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -65,17 +76,24 @@ func BenchmarkProcessBatch(b *testing.B) {
 }
 
 // TestProcessBatchZeroAllocs pins the steady-state contract of the
-// batch path: re-ingesting a batch whose cells all exist performs zero
-// heap allocations — scratch planes, verdict bitsets and table probes
-// all reuse their buffers. make microbench runs this gate alongside
-// the benchmarks.
+// batch path in both flavors: re-ingesting a batch whose cells all
+// exist performs zero heap allocations — scratch planes, verdict
+// bitsets, the grouping scratch and table probes all reuse their
+// buffers. make microbench runs this gate alongside the benchmarks.
 func TestProcessBatchZeroAllocs(t *testing.T) {
-	det, flat, out := microbenchDetector(t, 2)
-	defer det.Close()
-	allocs := testing.AllocsPerRun(20, func() {
-		det.ProcessBatch(flat, out)
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state ProcessBatch allocates %.1f times per batch, want 0", allocs)
+	for _, v := range []struct {
+		name       string
+		noCoalesce bool
+	}{{"coalesce", false}, {"nocoalesce", true}} {
+		t.Run(v.name, func(t *testing.T) {
+			det, flat, out := microbenchDetector(t, 2, v.noCoalesce)
+			defer det.Close()
+			allocs := testing.AllocsPerRun(20, func() {
+				det.ProcessBatch(flat, out)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state ProcessBatch (%s) allocates %.1f times per batch, want 0", v.name, allocs)
+			}
+		})
 	}
 }

@@ -87,7 +87,7 @@ func TestShardInvarianceProperty(t *testing.T) {
 			return sst.Multi{ts, mg}
 		}
 
-		runShards := func(shards int) ([]bool, Stats, []uint16) {
+		runShards := func(shards int, noCoalesce bool) ([]bool, Stats, []uint16) {
 			cfg := DefaultConfig(d)
 			cfg.MaxSubspaceDim = maxDim
 			cfg.Shards = shards
@@ -96,6 +96,7 @@ func TestShardInvarianceProperty(t *testing.T) {
 			cfg.EpochTicks = epoch
 			cfg.EvictEpsilon = 1e-4
 			cfg.RDPopulatedThreshold = 0.2
+			cfg.NoCoalesce = noCoalesce
 			cfg.Evolver = mkEvolver()
 			det, err := New(cfg)
 			if err != nil {
@@ -124,23 +125,31 @@ func TestShardInvarianceProperty(t *testing.T) {
 			return verdicts, det.Stats(), evolved
 		}
 
-		baseV, baseS, baseE := runShards(1)
-		for _, shards := range []int{4, 8} {
-			v, s, e := runShards(shards)
+		baseV, baseS, baseE := runShards(1, false)
+		// Shard counts with coalescing on, plus the NoCoalesce escape
+		// hatch at two shard counts: the coalesced run-fold and the
+		// fused per-point path must agree bit for bit, as must every
+		// shard partitioning of either.
+		for _, v := range []struct {
+			shards     int
+			noCoalesce bool
+		}{{4, false}, {8, false}, {1, true}, {4, true}} {
+			variant := fmt.Sprintf("%d shards (NoCoalesce=%v)", v.shards, v.noCoalesce)
+			vv, s, e := runShards(v.shards, v.noCoalesce)
 			for i := range baseV {
-				if v[i] != baseV[i] {
-					t.Fatalf("%s: verdict for point %d differs at %d shards", scenario, i, shards)
+				if vv[i] != baseV[i] {
+					t.Fatalf("%s: verdict for point %d differs at %s", scenario, i, variant)
 				}
 			}
 			if s.Sweeps != baseS.Sweeps || s.Promoted != baseS.Promoted || s.Demoted != baseS.Demoted {
-				t.Fatalf("%s: epoch engine diverged at %d shards: %+v vs %+v", scenario, shards, s, baseS)
+				t.Fatalf("%s: epoch engine diverged at %s: %+v vs %+v", scenario, variant, s, baseS)
 			}
 			if len(e) != len(baseE) {
-				t.Fatalf("%s: evolved groups differ at %d shards: %v vs %v", scenario, shards, e, baseE)
+				t.Fatalf("%s: evolved groups differ at %s: %v vs %v", scenario, variant, e, baseE)
 			}
 			for i := range e {
 				if e[i] != baseE[i] {
-					t.Fatalf("%s: evolved groups differ at %d shards: %v vs %v", scenario, shards, e, baseE)
+					t.Fatalf("%s: evolved groups differ at %s: %v vs %v", scenario, variant, e, baseE)
 				}
 			}
 		}

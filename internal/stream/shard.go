@@ -53,6 +53,18 @@ type subspaceState struct {
 	size       uint8   // subspace arity
 	phiPow     float64 // φ^arity, the cell count under uniformity
 	invMaxDist float64 // 1/((φ-1)*arity); 0 when φ==1
+
+	// skipCoalesce is the adaptive gate of the coalesced batch path:
+	// when a grouping pass finds almost no duplication (distinct cells
+	// above the coalesceDupNum/coalesceDupDen fraction of the batch),
+	// the next skipCoalesce batches of this subspace take the fused
+	// pointwise TouchCols instead, then one batch re-groups to
+	// re-measure. Duplication is a property of the
+	// subspace's projection (low-arity subspaces have few cells, high-
+	// arity ones many), so the gate is per subspace; it depends only on
+	// the subspace's own stream, never on shard layout, and both paths
+	// produce bit-identical summaries, so verdicts are unaffected.
+	skipCoalesce uint8
 }
 
 // shard owns an exclusive partition of the SST: the cell table, totals
@@ -111,9 +123,38 @@ type shard struct {
 
 	verdict []uint64 // per-batch verdict bitset (batch mode only)
 
+	// grouper is the batch-coalescing scratch, shared across the
+	// shard's subspaces: one subspace groups, folds and finishes its
+	// verdict pass before the next subspace regroups, so a single
+	// grouper per shard keeps the whole coalesced path at zero
+	// steady-state allocations. coalPoints/coalDistinct/coalGroupings
+	// count the points, distinct cells and passes of every grouping —
+	// the duplication statistics Stats and the bench harness report.
+	grouper       core.Grouper
+	coalPoints    uint64
+	coalDistinct  uint64
+	coalGroupings uint64
+
 	sweepEvicted int           // eviction count of the last sweep (read after workers sync)
 	sweepEvolved []evolvedCell // per-sweep scratch: surviving evolved-subspace cells
 }
+
+// Adaptive-gate constants of the coalesced batch path: a grouping pass
+// that finds more than (coalesceDupNum/coalesceDupDen)·n distinct
+// cells — i.e. almost every point in its own cell, so
+// one-probe-per-cell saves nothing over one-probe-per-point — sends
+// the subspace to the fused TouchCols for coalesceBackoff batches
+// before re-measuring. Sub-batches under coalesceMinBatch points (an
+// epoch split can cut a batch to a handful) take the fused path
+// outright, without touching the gate: their distinct ratio is high by
+// construction and grouping them would pay the scratch-index clear for
+// nothing.
+const (
+	coalesceBackoff  = 31
+	coalesceMinBatch = 64
+	coalesceDupNum   = 7
+	coalesceDupDen   = 8
+)
 
 // evolvedCell is a surviving evolved-subspace cell recorded during a
 // sweep, revisited for sparse classification once its subspace's
@@ -368,15 +409,26 @@ func (s *shard) processPoint(point []float64, coords []uint8, tick uint64) bool 
 // same as in processPoint and runs in the same per-point tick order
 // within a subspace, so verdicts are identical; only the interleaving
 // across subspaces — which shares no state — differs.
+//
+// Pass A+B come in two equivalent flavors. The default coalesced path
+// assembles the subspace's keys, groups the batch by cell
+// (core.Grouper) and probes the table once per *distinct* cell, folding
+// each cell's run of touches with the summary in registers
+// (core.TouchRuns) — on a dense stream most of a batch lands in a few
+// cells per subspace, so the per-point index probe and cell-line
+// traffic collapse into one per cell. The fused TouchCols
+// (assemble+probe+fold per point) remains as the fallback, taken when
+// Config.NoCoalesce is set or the subspace's adaptive gate saw no
+// duplication worth grouping. Both fold the identical arithmetic in
+// the identical per-cell tick order, so summaries — and therefore
+// verdicts — are bit-identical either way.
 func (s *shard) processBatch(jb job) {
 	words := (jb.n + 63) >> 6
 	if cap(s.verdict) < words {
 		s.verdict = make([]uint64, words)
 	} else {
 		s.verdict = s.verdict[:words]
-		for i := range s.verdict {
-			s.verdict[i] = 0
-		}
+		clear(s.verdict)
 	}
 	n := jb.n
 	if cap(s.bMags) < n {
@@ -398,17 +450,13 @@ func (s *shard) processBatch(jb job) {
 	k := cfg.K
 	f1 := decay.At(1)
 	flatT, planeT := jb.flatT, jb.planeT
+	noCoalesce := cfg.NoCoalesce
 	rb := 0
 	for li := range s.states {
 		st := &s.states[li]
 		repKey := s.repKeys[rb : rb+k]
 		repDc := s.repDcs[rb : rb+k]
 		rb += k
-		// Pass A+B, fused inside the table: assemble the subspace's
-		// cell key per point from the member dimensions' transposed
-		// columns, probe and fold — the subspace's few recurring
-		// buckets and cell lines stay cached across the run, and the
-		// magnitudes/slots/densities come back in dense arrays.
 		cc := s.colC[:0]
 		vv := s.colV[:0]
 		for j := 0; j < int(st.size); j++ {
@@ -416,7 +464,29 @@ func (s *shard) processBatch(jb job) {
 			cc = append(cc, planeT[off:off+n])
 			vv = append(vv, flatT[off:off+n])
 		}
-		tbl.TouchCols(decay, jb.t0, st.keyBase, cc, vv, keys, mags, ss, dcs)
+		// Pass A+B: coalesced (group by cell, one probe per distinct
+		// cell, run folds) unless the escape hatch, a tiny epoch-split
+		// sub-batch (nothing to amortize, and grouping would clear the
+		// steady-state-sized scratch index per subspace for it) or the
+		// adaptive gate routes this subspace to the fused per-point
+		// TouchCols.
+		if noCoalesce || n < coalesceMinBatch || st.skipCoalesce > 0 {
+			if !noCoalesce && n >= coalesceMinBatch {
+				st.skipCoalesce--
+			}
+			tbl.TouchCols(decay, jb.t0, st.keyBase, cc, vv, keys, mags, ss, dcs)
+		} else {
+			core.AssembleCols(st.keyBase, cc, vv, keys, mags)
+			s.grouper.Group(keys)
+			distinct := s.grouper.Groups()
+			s.coalPoints += uint64(n)
+			s.coalDistinct += uint64(distinct)
+			s.coalGroupings++
+			tbl.TouchRuns(decay, jb.t0, &s.grouper, mags, ss, dcs)
+			if distinct*coalesceDupDen > n*coalesceDupNum {
+				st.skipCoalesce = coalesceBackoff
+			}
+		}
 		// Pass C: totals fold (the body of PCS.Touch, inlined), IkRD
 		// representative upkeep and verdicts, per point in tick order —
 		// the subspace totals trajectory each point's verdict compares
