@@ -9,11 +9,14 @@ test:
 vet:
 	go vet ./...
 
-# Short native-fuzzing smoke over the cell-key round-trip property; a
-# counterexample fails the run and is minimized into testdata/fuzz as a
-# permanent regression case.
+# Short native-fuzzing smoke over the cell-key round-trip property and
+# the snapshot codec (mutated checkpoint bytes must decode with
+# matching CRCs or fail with a typed error — never panic or over-
+# allocate); a counterexample fails the run and is minimized into
+# testdata/fuzz as a permanent regression case.
 fuzz:
 	go test -run '^$$' -fuzz FuzzEncodeDecodeCell -fuzztime 10s ./internal/core
+	go test -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime 10s ./internal/snapshot
 
 # lint = vet + the repo's godoc discipline (every exported symbol in
 # internal/ and cmd/ must carry a doc comment, see cmd/doccheck) + the

@@ -26,6 +26,15 @@ type benchRow struct {
 	CellDupRatio          float64 `json:"cell_dup_ratio"`
 }
 
+// ckptRow is the slice of the checkpoint section benchdiff tracks: the
+// full-state snapshot size and the encode/decode cost of the
+// crash-safe checkpoint path.
+type ckptRow struct {
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	EncodeNsPerOp float64 `json:"encode_ns_per_op"`
+	DecodeNsPerOp float64 `json:"decode_ns_per_op"`
+}
+
 // benchReport is the slice of the BENCH_core.json schema benchdiff
 // reads; unknown fields are ignored so old and new artifact versions
 // stay comparable.
@@ -33,6 +42,7 @@ type benchReport struct {
 	GitSHA     string     `json:"git_sha"`
 	NumCPU     int        `json:"num_cpu"`
 	Benchmarks []benchRow `json:"benchmarks"`
+	Checkpoint *ckptRow   `json:"checkpoint"`
 }
 
 // delta is one compared scenario; distinct/dup carry the candidate's
@@ -101,6 +111,49 @@ func diff(oldR, newR *benchReport, threshold float64) (out []delta, regressions 
 	return out, regressions, missing
 }
 
+// diffCheckpoint compares the checkpoint rows when both artifacts
+// carry one: encode/decode time growing past the threshold counts as a
+// regression (time moves inversely to the points/sec gate); the
+// snapshot size delta is printed for the record but informational —
+// format growth is a deliberate, reviewed change, not a perf slip.
+// A baseline with no checkpoint row (pre-checkpoint artifact) is not
+// compared.
+func diffCheckpoint(old, cand *ckptRow, threshold float64) (regressions int) {
+	if old == nil {
+		return 0
+	}
+	if cand == nil {
+		fmt.Printf("  %-34s present in baseline only  << MISSING\n", "checkpoint")
+		return 1
+	}
+	for _, leg := range []struct {
+		name  string
+		oldNs float64
+		newNs float64
+	}{
+		{"checkpoint/encode", old.EncodeNsPerOp, cand.EncodeNsPerOp},
+		{"checkpoint/decode", old.DecodeNsPerOp, cand.DecodeNsPerOp},
+	} {
+		if leg.oldNs <= 0 {
+			continue
+		}
+		pct := 100 * (leg.newNs - leg.oldNs) / leg.oldNs
+		mark := ""
+		if leg.newNs > leg.oldNs*(1+threshold) {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-34s %10.0f -> %10.0f ns/op        %+6.1f%%%s\n",
+			leg.name, leg.oldNs, leg.newNs, pct, mark)
+	}
+	if old.SnapshotBytes > 0 {
+		fmt.Printf("  %-34s %10d -> %10d bytes        %+6.1f%%\n",
+			"checkpoint/bytes", old.SnapshotBytes, cand.SnapshotBytes,
+			100*float64(cand.SnapshotBytes-old.SnapshotBytes)/float64(old.SnapshotBytes))
+	}
+	return regressions
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative points/sec drop that counts as a regression")
 	warn := flag.Bool("warn", false, "report regressions but exit 0 (noisy or single-vCPU runners)")
@@ -143,6 +196,7 @@ func run(oldR, newR *benchReport, threshold float64, warn bool) {
 		fmt.Fprintln(os.Stderr, "benchdiff: the reports share no scenarios")
 		os.Exit(2)
 	}
+	regressions += diffCheckpoint(oldR.Checkpoint, newR.Checkpoint, threshold)
 	for _, d := range deltas {
 		dup := ""
 		if d.dup > 0 {

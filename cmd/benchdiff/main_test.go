@@ -90,6 +90,27 @@ func TestDiffThresholdBoundary(t *testing.T) {
 	}
 }
 
+// TestDiffCheckpoint: encode/decode time growing beyond the threshold
+// regresses, shrinking or wobbling does not, a pre-checkpoint baseline
+// is not compared, and a vanished candidate row fails the gate.
+func TestDiffCheckpoint(t *testing.T) {
+	base := &ckptRow{SnapshotBytes: 1 << 20, EncodeNsPerOp: 1e6, DecodeNsPerOp: 2e6}
+	if n := diffCheckpoint(nil, base, 0.10); n != 0 {
+		t.Fatalf("pre-checkpoint baseline regressed: %d", n)
+	}
+	if n := diffCheckpoint(base, nil, 0.10); n != 1 {
+		t.Fatalf("missing candidate row not flagged: %d", n)
+	}
+	ok := &ckptRow{SnapshotBytes: 2 << 20, EncodeNsPerOp: 1.05e6, DecodeNsPerOp: 1.5e6}
+	if n := diffCheckpoint(base, ok, 0.10); n != 0 {
+		t.Fatalf("wobble+improvement flagged as regression: %d", n)
+	}
+	slow := &ckptRow{SnapshotBytes: 1 << 20, EncodeNsPerOp: 1.2e6, DecodeNsPerOp: 2.5e6}
+	if n := diffCheckpoint(base, slow, 0.10); n != 2 {
+		t.Fatalf("both slowed legs should regress, got %d", n)
+	}
+}
+
 // TestLoadReportRejectsEmpty: an artifact without benchmarks is a
 // usage error, not a silent all-green diff.
 func TestLoadReportRejectsEmpty(t *testing.T) {

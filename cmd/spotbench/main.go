@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -125,6 +126,7 @@ type report struct {
 	Drift      *driftResult       `json:"drift_memory"`
 	Evolution  *evolutionResult   `json:"sst_evolution"`
 	Supervised *supervisedResult  `json:"supervised"`
+	Checkpoint *checkpointResult  `json:"checkpoint"`
 }
 
 // run measures throughput for one scenario: a (dims, shards) grid point
@@ -628,6 +630,87 @@ func runSupervised() (*supervisedResult, error) {
 	}, nil
 }
 
+// checkpointResult reports the crash-safe checkpoint path on a
+// populated detector: the full-state snapshot size and the
+// encode (Detector.Snapshot) and decode (stream.Restore) cost, so
+// bench-compare catches a checkpoint that silently bloats or a restore
+// that stops being cheap enough to run on a recovery path.
+type checkpointResult struct {
+	Dims           int     `json:"dims"`
+	Shards         int     `json:"shards"`
+	ProjectedCells int     `json:"projected_cells"`
+	BaseCells      int     `json:"base_cells"`
+	SnapshotBytes  int64   `json:"snapshot_bytes"`
+	EncodeOps      int     `json:"encode_ops"`
+	DecodeOps      int     `json:"decode_ops"`
+	EncodeNsPerOp  float64 `json:"encode_ns_per_op"`
+	DecodeNsPerOp  float64 `json:"decode_ns_per_op"`
+}
+
+// runCheckpoint populates a d=20 detector with the clustered stream,
+// then times snapshot encodes into a reused buffer and restores from
+// the captured bytes, each for the configured duration.
+func runCheckpoint(dur time.Duration, batch int) (*checkpointResult, error) {
+	const d = 20
+	cfg := stream.DefaultConfig(d)
+	cfg.MaxSubspaceDim = bench.MaxDimFor(d)
+	cfg.Shards = 4
+	det, err := stream.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer det.Close()
+	gen := bench.NewGenerator(bench.DefaultGenConfig(d))
+	flat := make([]float64, batch*d)
+	labels := make([]bool, batch)
+	out := make([]bool, batch)
+	for i := 0; i < 40; i++ {
+		gen.Fill(flat, labels, batch)
+		det.ProcessBatch(flat, out)
+	}
+
+	var buf bytes.Buffer
+	if err := det.Snapshot(&buf); err != nil {
+		return nil, err
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+
+	encOps := 0
+	start := time.Now()
+	for time.Since(start) < dur {
+		buf.Reset()
+		if err := det.Snapshot(&buf); err != nil {
+			return nil, err
+		}
+		encOps++
+	}
+	encNs := float64(time.Since(start).Nanoseconds()) / float64(encOps)
+
+	decOps := 0
+	start = time.Now()
+	for time.Since(start) < dur {
+		restored, err := stream.Restore(bytes.NewReader(raw), cfg)
+		if err != nil {
+			return nil, err
+		}
+		restored.Close()
+		decOps++
+	}
+	decNs := float64(time.Since(start).Nanoseconds()) / float64(decOps)
+
+	return &checkpointResult{
+		Dims:           d,
+		Shards:         cfg.Shards,
+		ProjectedCells: det.ProjectedCells(),
+		BaseCells:      det.BaseCells(),
+		SnapshotBytes:  int64(len(raw)),
+		EncodeOps:      encOps,
+		DecodeOps:      decOps,
+		EncodeNsPerOp:  encNs,
+		DecodeNsPerOp:  decNs,
+	}, nil
+}
+
 // gitSHA resolves the current commit, preferring the flag value; falls
 // back to asking git, then to "unknown" so the artifact never lies by
 // omission.
@@ -756,6 +839,13 @@ func main() {
 	rep.Supervised = sr
 	fmt.Printf("supervised d=%d: recall %.3f (moga truth=%v) vs unsupervised %.3f (truth=%v), %d examples\n",
 		sr.Dims, sr.RecallSup, sr.TruthFoundByMOGA, sr.RecallUnsup, sr.TruthFoundUnsup, sr.ExamplesMarked)
+	ck, err := runCheckpoint(*dur, *batch)
+	if err != nil {
+		fail(err)
+	}
+	rep.Checkpoint = ck
+	fmt.Printf("checkpoint d=%d/shards=%d: %d bytes (%d cells), encode %.0fns decode %.0fns\n",
+		ck.Dims, ck.Shards, ck.SnapshotBytes, ck.ProjectedCells, ck.EncodeNsPerOp, ck.DecodeNsPerOp)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,270 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// writeSample emits a two-section stream exercising every field type
+// and returns its bytes.
+func writeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Begin(1)
+	w.U8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.U16(0xBEEF)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 60)
+	w.F64(-0.0)
+	w.F64(math.Inf(1))
+	w.F64(math.Pi)
+	w.Bytes32([]byte("hello"))
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	w.Begin(2)
+	w.U32(3)
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() != int64(buf.Len()) {
+		t.Fatalf("Bytes() = %d, buffer holds %d", w.Bytes(), buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	raw := writeSample(t)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := r.Next()
+	if err != nil || sec.ID != 1 {
+		t.Fatalf("first section: %v, %v", sec, err)
+	}
+	if v := sec.U8(); v != 0xAB {
+		t.Fatalf("U8 = %#x", v)
+	}
+	if !sec.Bool() || sec.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if v := sec.U16(); v != 0xBEEF {
+		t.Fatalf("U16 = %#x", v)
+	}
+	if v := sec.U32(); v != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x", v)
+	}
+	if v := sec.U64(); v != 1<<60 {
+		t.Fatalf("U64 = %#x", v)
+	}
+	if v := sec.F64(); math.Float64bits(v) != math.Float64bits(-0.0) {
+		t.Fatalf("F64 lost the signed zero: %v", v)
+	}
+	if v := sec.F64(); !math.IsInf(v, 1) {
+		t.Fatalf("F64 = %v, want +Inf", v)
+	}
+	if v := sec.F64(); v != math.Pi {
+		t.Fatalf("F64 = %v, want pi", v)
+	}
+	if b := sec.Bytes32(); string(b) != "hello" {
+		t.Fatalf("Bytes32 = %q", b)
+	}
+	if sec.Err() != nil || sec.Remaining() != 0 {
+		t.Fatalf("after full read: err=%v remaining=%d", sec.Err(), sec.Remaining())
+	}
+	sec, err = r.Next()
+	if err != nil || sec.ID != 2 {
+		t.Fatalf("second section: %v, %v", sec, err)
+	}
+	if n := sec.Count(4); n != 0 {
+		// 3 elements × 4 bytes exceeds the 0 remaining payload bytes.
+		t.Fatalf("Count accepted an impossible element count: %d", n)
+	}
+	if !errors.Is(sec.Err(), ErrCorrupt) {
+		t.Fatalf("Count underflow: %v, want ErrCorrupt", sec.Err())
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after end marker: %v, want io.EOF", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF: %v, want io.EOF", err)
+	}
+}
+
+func TestCodecHeaderFaults(t *testing.T) {
+	raw := writeSample(t)
+
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xFF
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("mangled magic: %v, want ErrBadMagic", err)
+	}
+
+	bad = append([]byte(nil), raw...)
+	bad[len(Magic)] = 99
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: %v, want ErrVersion", err)
+	}
+
+	if _, err := NewReader(bytes.NewReader(raw[:5])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v, want ErrTruncated", err)
+	}
+}
+
+func TestCodecSectionFaults(t *testing.T) {
+	raw := writeSample(t)
+	hdr := len(Magic) + 4
+
+	// Truncation anywhere after the header → ErrTruncated somewhere in
+	// the section walk, never a clean EOF.
+	for cut := hdr; cut < len(raw); cut++ {
+		r, err := NewReader(NewTruncatedReader(bytes.NewReader(raw), int64(cut)))
+		if err != nil {
+			t.Fatalf("truncate@%d: header: %v", cut, err)
+		}
+		var last error
+		for {
+			_, err := r.Next()
+			if err != nil {
+				last = err
+				break
+			}
+		}
+		if last == io.EOF {
+			t.Fatalf("truncate@%d decoded as a complete stream", cut)
+		}
+		if !errors.Is(last, ErrTruncated) && !errors.Is(last, ErrChecksum) && !errors.Is(last, ErrCorrupt) {
+			t.Fatalf("truncate@%d: %v, want a typed error", cut, last)
+		}
+	}
+
+	// A bit flip anywhere in a section → ErrChecksum or ErrCorrupt
+	// (a flipped length field can fail structurally before the CRC runs).
+	for off := hdr; off < len(raw); off++ {
+		r, err := NewReader(NewBitFlipReader(bytes.NewReader(raw), int64(off), 0x10))
+		if err != nil {
+			t.Fatalf("flip@%d: header: %v", off, err)
+		}
+		var last error
+		for {
+			_, err := r.Next()
+			if err != nil {
+				last = err
+				break
+			}
+		}
+		if last == io.EOF {
+			t.Fatalf("flip@%d went unnoticed", off)
+		}
+		if !errors.Is(last, ErrChecksum) && !errors.Is(last, ErrCorrupt) && !errors.Is(last, ErrTruncated) {
+			t.Fatalf("flip@%d: %v, want a typed error", off, last)
+		}
+	}
+}
+
+// TestCodecLyingLength: a section that declares a huge payload on a
+// short stream must fail with a typed error without allocating the
+// claimed size (the chunked reader buffers at most ~1MB extra).
+func TestCodecLyingLength(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Hand-craft a section header claiming maxSectionSize payload bytes.
+	raw = append(raw, 1, 0, 0, 0) // id = 1
+	raw = append(raw, 0, 0, 0, 0x80, 0, 0, 0, 0)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("lying length: %v, want ErrTruncated", err)
+	}
+	// Over the cap → rejected before any read.
+	raw = raw[:len(raw)-8]
+	raw = append(raw, 1, 0, 0, 0x80, 0, 0, 0, 0) // maxSectionSize+1
+	r, err = NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized length: %v, want ErrCorrupt", err)
+	}
+	_ = w
+}
+
+// TestCodecStickySectionError: after one out-of-bounds read every
+// further field read returns zero and the original error sticks.
+func TestCodecStickySectionError(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Begin(7)
+	w.U8(1)
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec.U64() // past the 1-byte payload
+	first := sec.Err()
+	if !errors.Is(first, ErrCorrupt) {
+		t.Fatalf("overread: %v, want ErrCorrupt", first)
+	}
+	if v := sec.U32(); v != 0 {
+		t.Fatalf("read after sticky error returned %d", v)
+	}
+	if sec.Err() != first {
+		t.Fatal("sticky error was replaced")
+	}
+}
+
+// TestWriterFaults: a failing underlying writer surfaces through
+// End/Close and sticks.
+func TestWriterFaults(t *testing.T) {
+	// Fail inside the header.
+	if _, err := NewWriter(&FaultWriter{W: io.Discard, Limit: 4}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("header fault: %v, want ErrInjected", err)
+	}
+	// Fail inside a section body.
+	w, err := NewWriter(&FaultWriter{W: io.Discard, Limit: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Begin(1)
+	for i := 0; i < 8; i++ {
+		w.U64(uint64(i))
+	}
+	if err := w.End(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("section fault: %v, want ErrInjected", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Close after fault: %v, want the sticky ErrInjected", err)
+	}
+}

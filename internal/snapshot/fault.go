@@ -1,0 +1,98 @@
+package snapshot
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the error every fault injector returns when its
+// scripted fault fires; recovery tests assert against it to tell
+// injected failures from real ones.
+var ErrInjected = errors.New("snapshot: injected fault")
+
+// FaultWriter wraps an io.Writer and injects a short write: the first
+// Limit bytes pass through, then every write fails with ErrInjected —
+// the disk-full / process-killed-mid-write shape the keeper tests
+// drive checkpoint saves through.
+type FaultWriter struct {
+	// W is the underlying writer.
+	W io.Writer
+	// Limit is how many bytes pass through before writes start failing.
+	Limit int64
+	n     int64
+}
+
+// Write passes b through until Limit is reached, then short-writes the
+// remaining budget and fails with ErrInjected.
+func (f *FaultWriter) Write(b []byte) (int, error) {
+	if f.n >= f.Limit {
+		return 0, ErrInjected
+	}
+	if rem := f.Limit - f.n; int64(len(b)) > rem {
+		n, err := f.W.Write(b[:rem])
+		f.n += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+	n, err := f.W.Write(b)
+	f.n += int64(n)
+	return n, err
+}
+
+// FaultReader wraps an io.Reader and injects the read-side fault
+// menagerie: truncation (the stream ends early at Truncate bytes) and
+// a bit flip (the byte at offset FlipAt is XORed with FlipMask). The
+// recovery tests feed corrupted checkpoints through it and assert the
+// decoder returns clean typed errors — never a panic or silently
+// wrong state.
+type FaultReader struct {
+	// R is the underlying reader.
+	R io.Reader
+	// Truncate ends the stream after this many bytes; < 0 disables
+	// truncation.
+	Truncate int64
+	// FlipAt is the byte offset whose bits are flipped; < 0 disables
+	// the flip.
+	FlipAt int64
+	// FlipMask is XORed into the byte at FlipAt; a zero mask with
+	// FlipAt ≥ 0 defaults to flipping the low bit.
+	FlipMask byte
+	n        int64
+}
+
+// Read reads from the underlying reader, applying the configured
+// truncation and bit flip at their offsets.
+func (f *FaultReader) Read(b []byte) (int, error) {
+	if f.Truncate >= 0 && f.n >= f.Truncate {
+		return 0, io.EOF
+	}
+	if f.Truncate >= 0 {
+		if rem := f.Truncate - f.n; int64(len(b)) > rem {
+			b = b[:rem]
+		}
+	}
+	n, err := f.R.Read(b)
+	if f.FlipAt >= f.n && f.FlipAt < f.n+int64(n) {
+		mask := f.FlipMask
+		if mask == 0 {
+			mask = 1
+		}
+		b[f.FlipAt-f.n] ^= mask
+	}
+	f.n += int64(n)
+	return n, err
+}
+
+// NewTruncatedReader returns a FaultReader that delivers only the
+// first n bytes of r.
+func NewTruncatedReader(r io.Reader, n int64) *FaultReader {
+	return &FaultReader{R: r, Truncate: n, FlipAt: -1}
+}
+
+// NewBitFlipReader returns a FaultReader that flips mask into the byte
+// at offset off of r.
+func NewBitFlipReader(r io.Reader, off int64, mask byte) *FaultReader {
+	return &FaultReader{R: r, Truncate: -1, FlipAt: off, FlipMask: mask}
+}

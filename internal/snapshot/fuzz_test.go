@@ -1,0 +1,95 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzSnapshotRoundTrip feeds arbitrary bytes — seeded with valid
+// snapshot streams — through the section reader. The invariant: the
+// decoder either walks the whole stream with every CRC matching, or
+// fails with one of the typed snapshot errors. It never panics and
+// never allocates anywhere near the claimed size of a lying length
+// field (the t.Skip-free walk under the fuzzer's memory limit enforces
+// that indirectly).
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	seed := func(build func(w *Writer)) {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		build(w)
+		f.Add(buf.Bytes())
+	}
+	seed(func(w *Writer) {
+		w.Close()
+	})
+	seed(func(w *Writer) {
+		w.Begin(1)
+		w.U32(7)
+		w.F64(3.5)
+		w.End()
+		w.Close()
+	})
+	seed(func(w *Writer) {
+		w.Begin(1)
+		w.Bytes32([]byte("payload"))
+		w.End()
+		w.Begin(2)
+		for i := 0; i < 64; i++ {
+			w.U64(uint64(i) * 0x9E3779B97F4A7C15)
+		}
+		w.End()
+		w.Close()
+	})
+	f.Add([]byte(Magic))
+	f.Add([]byte("SPOTSNP1\x01\x00\x00\x00\xff\xff\xff\xff\x00\x00\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			requireTyped(t, err)
+			return
+		}
+		for {
+			sec, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				requireTyped(t, err)
+				return
+			}
+			// Drain the section through the field readers; a sticky
+			// decode error must be typed too.
+			for sec.Remaining() > 0 && sec.Err() == nil {
+				switch sec.Remaining() % 3 {
+				case 0:
+					sec.Bytes32()
+				case 1:
+					sec.U8()
+				default:
+					sec.U64()
+				}
+			}
+			if err := sec.Err(); err != nil {
+				requireTyped(t, err)
+			}
+		}
+	})
+}
+
+// requireTyped fails the fuzz case unless err wraps one of the typed
+// snapshot errors.
+func requireTyped(t *testing.T, err error) {
+	t.Helper()
+	for _, want := range []error{ErrBadMagic, ErrVersion, ErrChecksum, ErrTruncated, ErrCorrupt} {
+		if errors.Is(err, want) {
+			return
+		}
+	}
+	t.Fatalf("untyped decode error: %v", err)
+}

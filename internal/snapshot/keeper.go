@@ -1,0 +1,217 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ckptPrefix/ckptSuffix frame checkpoint file names: ckpt-<seq>.spot,
+// with <seq> a monotonically increasing decimal sequence number.
+const (
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".spot"
+	tmpSuffix  = ".tmp"
+)
+
+// Keeper manages a directory of rotated checkpoint generations with
+// crash-safe writes and verified fallback on load.
+//
+// Save streams a new checkpoint through a temp file and only renames it
+// into place after the data is fsynced, so a crash at any point leaves
+// either the complete new generation or the untouched previous ones —
+// never a half-written file under a checkpoint name. Load walks the
+// retained generations newest first and restores from the first one
+// whose CRCs verify end to end, collecting a per-generation failure
+// reason for the ones that don't; if none survives, it reports
+// ErrNoCheckpoint with the reasons attached, and the caller degrades
+// to a fresh start.
+type Keeper struct {
+	dir  string
+	keep int
+	seq  uint64
+}
+
+// NewKeeper opens (creating if needed) a checkpoint directory that
+// retains the newest keep generations; keep < 1 is treated as 1. Stale
+// temp files from a previous crash are removed, and the sequence
+// counter resumes above the newest retained generation.
+func NewKeeper(dir string, keep int) (*Keeper, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: keeper dir: %w", err)
+	}
+	k := &Keeper{dir: dir, keep: keep}
+	gens, err := k.generations()
+	if err != nil {
+		return nil, err
+	}
+	if n := len(gens); n > 0 {
+		k.seq = gens[n-1] + 1
+	}
+	// A temp file is by definition an interrupted Save; it never holds
+	// the newest durable state, so dropping it is always safe.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: keeper dir: %w", err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), tmpSuffix) && strings.HasPrefix(e.Name(), "."+ckptPrefix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return k, nil
+}
+
+// Dir returns the checkpoint directory the keeper manages.
+func (k *Keeper) Dir() string { return k.dir }
+
+// generations lists the retained checkpoint sequence numbers in
+// ascending order.
+func (k *Keeper) generations() ([]uint64, error) {
+	ents, err := os.ReadDir(k.dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: keeper dir: %w", err)
+	}
+	var gens []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(name[len(ckptPrefix):len(name)-len(ckptSuffix)], 10, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		gens = append(gens, seq)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Generations returns the number of retained checkpoint generations.
+func (k *Keeper) Generations() (int, error) {
+	gens, err := k.generations()
+	return len(gens), err
+}
+
+// path returns the durable file name of generation seq.
+func (k *Keeper) path(seq uint64) string {
+	return filepath.Join(k.dir, fmt.Sprintf("%s%d%s", ckptPrefix, seq, ckptSuffix))
+}
+
+// Save writes one new checkpoint generation: write streams the
+// snapshot into the passed writer (Detector.Snapshot fits the
+// signature directly). The data goes to a hidden temp file first, is
+// fsynced, and only then renamed to its durable name and the directory
+// fsynced — so a crash or write error at any point leaves every
+// previous generation intact. On success, generations beyond the
+// retention count are pruned. Returns the durable path and the number
+// of bytes written.
+func (k *Keeper) Save(write func(w io.Writer) error) (string, int64, error) {
+	seq := k.seq
+	k.seq++
+	tmp := filepath.Join(k.dir, fmt.Sprintf(".%s%d%s%s", ckptPrefix, seq, ckptSuffix, tmpSuffix))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return "", 0, fmt.Errorf("snapshot: create temp: %w", err)
+	}
+	cleanup := func(err error) (string, int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	if err := write(f); err != nil {
+		return cleanup(fmt.Errorf("snapshot: write checkpoint: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("snapshot: sync checkpoint: %w", err))
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return cleanup(fmt.Errorf("snapshot: stat checkpoint: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", 0, fmt.Errorf("snapshot: close checkpoint: %w", err)
+	}
+	dst := k.path(seq)
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return "", 0, fmt.Errorf("snapshot: publish checkpoint: %w", err)
+	}
+	syncDir(k.dir)
+	k.prune()
+	return dst, st.Size(), nil
+}
+
+// prune removes generations beyond the retention count, oldest first.
+// Best effort: a prune failure never fails the Save that triggered it.
+func (k *Keeper) prune() {
+	gens, err := k.generations()
+	if err != nil {
+		return
+	}
+	for len(gens) > k.keep {
+		os.Remove(k.path(gens[0]))
+		gens = gens[1:]
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+// Best effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Load restores from the newest generation that decodes cleanly:
+// restore is invoked with each candidate checkpoint, newest first,
+// until one succeeds (typically stream.Restore, which verifies every
+// section CRC on the way through). Generations that fail are recorded
+// and skipped. If no generation survives — including the
+// zero-checkpoints case — Load returns an error wrapping
+// ErrNoCheckpoint that lists every per-generation failure reason, and
+// the caller falls back to a fresh start. Returns the path of the
+// generation that restored.
+func (k *Keeper) Load(restore func(r io.Reader) error) (string, error) {
+	gens, err := k.generations()
+	if err != nil {
+		return "", err
+	}
+	var reasons []string
+	for i := len(gens) - 1; i >= 0; i-- {
+		p := k.path(gens[i])
+		f, err := os.Open(p)
+		if err != nil {
+			reasons = append(reasons, fmt.Sprintf("%s: %v", filepath.Base(p), err))
+			continue
+		}
+		err = restore(f)
+		f.Close()
+		if err == nil {
+			return p, nil
+		}
+		reasons = append(reasons, fmt.Sprintf("%s: %v", filepath.Base(p), err))
+	}
+	if len(reasons) == 0 {
+		return "", fmt.Errorf("%w: directory %s holds no checkpoints", ErrNoCheckpoint, k.dir)
+	}
+	return "", fmt.Errorf("%w: %s", ErrNoCheckpoint, strings.Join(reasons, "; "))
+}
+
+// IsNoCheckpoint reports whether err means no retained generation was
+// usable — the condition under which a caller starts fresh instead of
+// restoring.
+func IsNoCheckpoint(err error) bool { return errors.Is(err, ErrNoCheckpoint) }

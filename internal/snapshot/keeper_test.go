@@ -1,0 +1,242 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// saveBlob writes one checkpoint generation holding payload inside the
+// snapshot framing, so Load-side CRC verification has real structure
+// to chew on.
+func saveBlob(t *testing.T, k *Keeper, payload string) string {
+	t.Helper()
+	p, n, err := k.Save(func(f io.Writer) error {
+		w, err := NewWriter(f)
+		if err != nil {
+			return err
+		}
+		w.Begin(1)
+		w.Bytes32([]byte(payload))
+		if err := w.End(); err != nil {
+			return err
+		}
+		return w.Close()
+	})
+	if err != nil {
+		t.Fatalf("save %q: %v", payload, err)
+	}
+	if n <= 0 {
+		t.Fatalf("save %q reported %d bytes", payload, n)
+	}
+	return p
+}
+
+// loadBlob restores via the snapshot reader, returning the framed
+// payload — and an error for any CRC/framing violation.
+func loadBlob(k *Keeper) (string, string, error) {
+	var payload string
+	p, err := k.Load(func(f io.Reader) error {
+		r, err := NewReader(f)
+		if err != nil {
+			return err
+		}
+		sec, err := r.Next()
+		if err != nil {
+			return err
+		}
+		payload = string(sec.Bytes32())
+		if err := sec.Err(); err != nil {
+			return err
+		}
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				return nil
+			} else if err != nil {
+				return err
+			}
+		}
+	})
+	return p, payload, err
+}
+
+func TestKeeperZeroCheckpoints(t *testing.T) {
+	k, err := NewKeeper(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := k.Generations(); n != 0 || err != nil {
+		t.Fatalf("fresh dir: %d generations, %v", n, err)
+	}
+	_, _, err = loadBlob(k)
+	if !IsNoCheckpoint(err) {
+		t.Fatalf("empty load: %v, want ErrNoCheckpoint", err)
+	}
+	if !strings.Contains(err.Error(), "no checkpoints") {
+		t.Fatalf("empty load should say why: %v", err)
+	}
+}
+
+func TestKeeperRotationAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	k, err := NewKeeper(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveBlob(t, k, "gen0")
+	saveBlob(t, k, "gen1")
+	p2 := saveBlob(t, k, "gen2")
+	if n, _ := k.Generations(); n != 2 {
+		t.Fatalf("retention: %d generations kept, want 2", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt-0.spot")); !os.IsNotExist(err) {
+		t.Fatal("oldest generation not pruned")
+	}
+	p, payload, err := loadBlob(k)
+	if err != nil || payload != "gen2" || p != p2 {
+		t.Fatalf("load: %q from %s, %v", payload, p, err)
+	}
+
+	// Corrupt the newest generation: Load must fall back to gen1.
+	raw, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x40 // inside the end marker's CRC
+	if err := os.WriteFile(p2, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, payload, err = loadBlob(k); err != nil || payload != "gen1" {
+		t.Fatalf("fallback: %q, %v — want gen1", payload, err)
+	}
+
+	// Corrupt every generation: ErrNoCheckpoint with both reasons.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-1.spot"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = loadBlob(k)
+	if !IsNoCheckpoint(err) {
+		t.Fatalf("all corrupt: %v, want ErrNoCheckpoint", err)
+	}
+	for _, gen := range []string{"ckpt-1.spot", "ckpt-2.spot"} {
+		if !strings.Contains(err.Error(), gen) {
+			t.Fatalf("all-corrupt error does not name %s: %v", gen, err)
+		}
+	}
+}
+
+// TestKeeperDiskFullMidWrite: a write failure part-way through a Save
+// must leave every previous generation intact and no temp debris, and
+// the next Load restores the previous generation.
+func TestKeeperDiskFullMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	k, err := NewKeeper(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveBlob(t, k, "good")
+
+	_, _, err = k.Save(func(f io.Writer) error {
+		fw := &FaultWriter{W: f, Limit: 17} // dies mid-section
+		w, err := NewWriter(fw)
+		if err != nil {
+			return err
+		}
+		w.Begin(1)
+		w.Bytes32(bytes.Repeat([]byte("x"), 256))
+		if err := w.End(); err != nil {
+			return err
+		}
+		return w.Close()
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("disk-full save: %v, want ErrInjected", err)
+	}
+	if n, _ := k.Generations(); n != 1 {
+		t.Fatalf("failed save changed the generation count: %d", n)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp debris left behind: %s", e.Name())
+		}
+	}
+	if _, payload, err := loadBlob(k); err != nil || payload != "good" {
+		t.Fatalf("after failed save: %q, %v — want the previous generation", payload, err)
+	}
+
+	// The sequence keeps moving: the next successful save is newest.
+	saveBlob(t, k, "newer")
+	if _, payload, err := loadBlob(k); err != nil || payload != "newer" {
+		t.Fatalf("after recovery save: %q, %v", payload, err)
+	}
+}
+
+// TestKeeperTornRename: a stale temp file from a crashed Save (the
+// torn-rename window) is swept on the next NewKeeper and never shadows
+// a durable generation; the sequence resumes above the newest one.
+func TestKeeperTornRename(t *testing.T) {
+	dir := t.TempDir()
+	k, err := NewKeeper(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveBlob(t, k, "durable")
+	// Simulate a crash between write and rename: a complete temp file
+	// on disk that never got published.
+	torn := filepath.Join(dir, ".ckpt-1.spot.tmp")
+	if err := os.WriteFile(torn, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewKeeper(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived keeper restart")
+	}
+	if n, _ := k2.Generations(); n != 1 {
+		t.Fatalf("generations after restart: %d, want 1", n)
+	}
+	if _, payload, err := loadBlob(k2); err != nil || payload != "durable" {
+		t.Fatalf("restart load: %q, %v", payload, err)
+	}
+	p := saveBlob(t, k2, "next")
+	if !strings.HasSuffix(p, "ckpt-1.spot") {
+		t.Fatalf("sequence did not resume above the newest generation: %s", p)
+	}
+}
+
+// TestKeeperForeignFiles: unrelated files in the checkpoint directory
+// are neither counted, pruned, nor loaded.
+func TestKeeperForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"README", "ckpt-x.spot", "ckpt-1.other"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("foreign"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k, err := NewKeeper(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := k.Generations(); n != 0 {
+		t.Fatalf("foreign files counted as generations: %d", n)
+	}
+	for i := 0; i < 3; i++ {
+		saveBlob(t, k, fmt.Sprintf("gen%d", i))
+	}
+	for _, name := range []string{"README", "ckpt-x.spot", "ckpt-1.other"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("foreign file %s was pruned: %v", name, err)
+		}
+	}
+}

@@ -180,6 +180,7 @@ type TopSparseConfig struct {
 // path only.
 type TopSparse struct {
 	cfg   TopSparseConfig
+	src   *countedSource // rng's source, counted so state can checkpoint
 	rng   *rand.Rand
 	comb  []uint16
 	hist  map[uint64]float64
@@ -214,9 +215,11 @@ func NewTopSparse(cfg TopSparseConfig) (*TopSparse, error) {
 	if cfg.SeedFromBase < 0 {
 		return nil, fmt.Errorf("sst: SeedFromBase must be non-negative, got %d", cfg.SeedFromBase)
 	}
+	src := newCountedSource(cfg.Seed)
 	return &TopSparse{
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		src:   src,
+		rng:   rand.New(src),
 		comb:  make([]uint16, cfg.Arity),
 		hist:  make(map[uint64]float64),
 		owned: make(map[string]bool),

@@ -90,6 +90,7 @@ type MOGAConfig struct {
 // detector's shard count.
 type MOGA struct {
 	cfg      MOGAConfig
+	src      *countedSource // rng's source, counted so state can checkpoint
 	rng      *rand.Rand
 	d        int // data-space dimensionality, fixed at first Evolve
 	maxArity int // cfg.MaxArity clamped to d, fixed alongside it
@@ -175,9 +176,11 @@ func NewMOGA(cfg MOGAConfig) (*MOGA, error) {
 	if cfg.DemoteScore == 0 {
 		cfg.DemoteScore = 0.02
 	}
+	src := newCountedSource(cfg.Seed)
 	return &MOGA{
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		src:   src,
+		rng:   rand.New(src),
 		owned: make(map[string]bool),
 		hist:  make(map[uint64]float64),
 	}, nil

@@ -1,0 +1,546 @@
+package sst
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"spot/internal/core"
+)
+
+// State extraction for the snapshot layer. Two kinds of state leave
+// this package: the template's evolved slots (EvolvedSlots /
+// RestoreEvolved) and the evolvers' internal state (StateMarshaler).
+// Both restore to bit-identical continuations: the evolvers' RNGs are
+// counted sources whose draw count is saved and replayed by skipping,
+// so a restored evolver draws exactly the sequence the uninterrupted
+// one would have.
+
+// StateMarshaler is implemented by evolvers whose internal state must
+// survive a detector checkpoint for restored verdicts to stay
+// bit-identical (TopSparse, MOGA, Multi). MarshalState serializes the
+// evolver's mutable state; UnmarshalState resets the evolver to its
+// just-constructed state and applies the serialized one on top — the
+// evolver must have been built with the same configuration that
+// produced the state. Both are deterministic: marshaling the same
+// state twice yields the same bytes.
+type StateMarshaler interface {
+	MarshalState() ([]byte, error)
+	UnmarshalState(data []byte) error
+}
+
+// maxRestoreDraws bounds the RNG draw count accepted from serialized
+// state, so a corrupt count fails fast instead of spinning the
+// skip-replay loop for hours. Real runs draw a few thousand times per
+// epoch; the bound allows billions.
+const maxRestoreDraws = 1 << 32
+
+// countedSource wraps a math/rand source and counts its state
+// advances. Both Int63 and Uint64 of the stdlib source advance the
+// generator exactly once, so "the state after n draws" is reproduced
+// by reseeding and discarding n values — which is how UnmarshalState
+// restores an evolver's RNG without access to the generator's
+// internal state.
+type countedSource struct {
+	src   rand.Source
+	src64 rand.Source64
+	draws uint64
+}
+
+// newCountedSource returns a counted source over rand.NewSource(seed).
+func newCountedSource(seed int64) *countedSource {
+	c := &countedSource{src: rand.NewSource(seed)}
+	c.src64, _ = c.src.(rand.Source64)
+	return c
+}
+
+// Int63 implements rand.Source.
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64. A source without native 64-bit
+// output is emulated the way math/rand does, counting both advances.
+func (c *countedSource) Uint64() uint64 {
+	if c.src64 != nil {
+		c.draws++
+		return c.src64.Uint64()
+	}
+	c.draws += 2
+	return uint64(c.src.Int63())>>31 | uint64(c.src.Int63())<<32
+}
+
+// Seed implements rand.Source, resetting the draw count alongside the
+// generator.
+func (c *countedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// skipTo advances the freshly reseeded source until it has performed n
+// draws, reproducing the serialized generator state.
+func (c *countedSource) skipTo(n uint64) {
+	for c.draws < n {
+		c.draws++
+		c.src.Int63()
+	}
+}
+
+// stateEnc builds an evolver-state payload: little-endian fixed-width
+// appends into one byte slice.
+type stateEnc struct{ b []byte }
+
+func (e *stateEnc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *stateEnc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *stateEnc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *stateEnc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+// dimSet appends a length-prefixed dimension set.
+func (e *stateEnc) dimSet(dims []uint16) {
+	e.u16(uint16(len(dims)))
+	for _, d := range dims {
+		e.u16(d)
+	}
+}
+
+// stateDec consumes an evolver-state payload with a sticky error: the
+// first out-of-bounds read arms it and every later read returns zero,
+// so decoders validate once at the end.
+type stateDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *stateDec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) || n < 0 {
+		d.err = fmt.Errorf("sst: state payload truncated")
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *stateDec) u8() uint8 {
+	if v := d.take(1); v != nil {
+		return v[0]
+	}
+	return 0
+}
+
+func (d *stateDec) u16() uint16 {
+	if v := d.take(2); v != nil {
+		return binary.LittleEndian.Uint16(v)
+	}
+	return 0
+}
+
+func (d *stateDec) u32() uint32 {
+	if v := d.take(4); v != nil {
+		return binary.LittleEndian.Uint32(v)
+	}
+	return 0
+}
+
+func (d *stateDec) u64() uint64 {
+	if v := d.take(8); v != nil {
+		return binary.LittleEndian.Uint64(v)
+	}
+	return 0
+}
+
+// dimSet consumes a length-prefixed dimension set, bounding the length
+// by the remaining payload.
+func (d *stateDec) dimSet() []uint16 {
+	n := int(d.u16())
+	if d.err != nil {
+		return nil
+	}
+	if 2*n > len(d.b)-d.off {
+		d.err = fmt.Errorf("sst: state payload truncated")
+		return nil
+	}
+	dims := make([]uint16, n)
+	for i := range dims {
+		dims[i] = d.u16()
+	}
+	return dims
+}
+
+// count consumes a uint32 element count validated at minSize bytes per
+// element against the remaining payload.
+func (d *stateDec) count(minSize int) int {
+	n := d.u32()
+	if d.err == nil && minSize > 0 && uint64(n)*uint64(minSize) > uint64(len(d.b)-d.off) {
+		d.err = fmt.Errorf("sst: state payload truncated")
+		return 0
+	}
+	return int(n)
+}
+
+// finish returns the sticky error, or an error if payload bytes remain
+// unconsumed (a sign of version or composition skew).
+func (d *stateDec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("sst: %d trailing bytes in state payload", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// evolverStateVersion tags the per-evolver payloads; unknown versions
+// are rejected.
+const evolverStateVersion = 1
+
+// sortedOwned returns the owned signatures in sorted order, so
+// marshaling is deterministic under Go's randomized map iteration.
+func sortedOwned(owned map[string]bool) []string {
+	sigs := make([]string, 0, len(owned))
+	for s := range owned {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	return sigs
+}
+
+// sigDims decodes a canonical signature back into its dimension set.
+func sigDims(s string) []uint16 {
+	dims := make([]uint16, len(s)/2)
+	for i := range dims {
+		dims[i] = uint16(s[2*i]) | uint16(s[2*i+1])<<8
+	}
+	return dims
+}
+
+// validOwnedSet validates a restored ownership dimension set: strictly
+// increasing, legal evolved arity.
+func validOwnedSet(dims []uint16) error {
+	if len(dims) < 1 || len(dims) > core.MaxSubspaceDims {
+		return fmt.Errorf("sst: owned set arity %d out of [1,%d]", len(dims), core.MaxSubspaceDims)
+	}
+	for i := 1; i < len(dims); i++ {
+		if dims[i] <= dims[i-1] {
+			return fmt.Errorf("sst: owned set %v not strictly increasing", dims)
+		}
+	}
+	return nil
+}
+
+// MarshalState implements StateMarshaler: the evolver's RNG draw count
+// and the signatures of its owned promotions.
+func (e *TopSparse) MarshalState() ([]byte, error) {
+	var enc stateEnc
+	enc.u8(evolverStateVersion)
+	enc.u64(e.src.draws)
+	enc.u32(uint32(len(e.owned)))
+	for _, s := range sortedOwned(e.owned) {
+		enc.dimSet(sigDims(s))
+	}
+	return enc.b, nil
+}
+
+// UnmarshalState implements StateMarshaler: the evolver is reset to
+// its seeded construction state, the RNG is replayed to the saved draw
+// count, and ownership is rebuilt.
+func (e *TopSparse) UnmarshalState(data []byte) error {
+	dec := stateDec{b: data}
+	if v := dec.u8(); v != evolverStateVersion && dec.err == nil {
+		return fmt.Errorf("sst: TopSparse state version %d, this build reads %d", v, evolverStateVersion)
+	}
+	draws := dec.u64()
+	if draws > maxRestoreDraws {
+		return fmt.Errorf("sst: TopSparse draw count %d exceeds the restore bound", draws)
+	}
+	n := dec.count(3)
+	owned := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		dims := dec.dimSet()
+		if dec.err != nil {
+			break
+		}
+		if err := validOwnedSet(dims); err != nil {
+			return err
+		}
+		owned[sig(dims)] = true
+	}
+	if err := dec.finish(); err != nil {
+		return err
+	}
+	e.src.Seed(e.cfg.Seed)
+	e.src.skipTo(draws)
+	e.owned = owned
+	return nil
+}
+
+// MarshalState implements StateMarshaler: the RNG draw count, the
+// lattice geometry fixed at first Evolve, the owned signatures and the
+// population's dimension sets in order. Fitness fields are not saved —
+// Evolve re-evaluates the whole population against the fresh snapshot
+// before using any of them.
+func (m *MOGA) MarshalState() ([]byte, error) {
+	var enc stateEnc
+	enc.u8(evolverStateVersion)
+	enc.u64(m.src.draws)
+	enc.u32(uint32(m.d))
+	enc.u32(uint32(m.maxArity))
+	enc.u32(uint32(len(m.owned)))
+	for _, s := range sortedOwned(m.owned) {
+		enc.dimSet(sigDims(s))
+	}
+	enc.u32(uint32(len(m.pop)))
+	for i := range m.pop {
+		enc.dimSet(m.pop[i].dims)
+	}
+	return enc.b, nil
+}
+
+// UnmarshalState implements StateMarshaler; the evolver must have been
+// built with the configuration that produced the state (the population
+// size is checked against it).
+func (m *MOGA) UnmarshalState(data []byte) error {
+	dec := stateDec{b: data}
+	if v := dec.u8(); v != evolverStateVersion && dec.err == nil {
+		return fmt.Errorf("sst: MOGA state version %d, this build reads %d", v, evolverStateVersion)
+	}
+	draws := dec.u64()
+	if draws > maxRestoreDraws {
+		return fmt.Errorf("sst: MOGA draw count %d exceeds the restore bound", draws)
+	}
+	d := int(dec.u32())
+	maxArity := int(dec.u32())
+	nOwned := dec.count(3)
+	owned := make(map[string]bool, nOwned)
+	for i := 0; i < nOwned; i++ {
+		dims := dec.dimSet()
+		if dec.err != nil {
+			break
+		}
+		if err := validOwnedSet(dims); err != nil {
+			return err
+		}
+		owned[sig(dims)] = true
+	}
+	popLen := dec.count(2)
+	popDims := make([][]uint16, popLen)
+	for i := range popDims {
+		popDims[i] = dec.dimSet()
+	}
+	if err := dec.finish(); err != nil {
+		return err
+	}
+	if d == 0 {
+		if maxArity != 0 || popLen != 0 {
+			return fmt.Errorf("sst: MOGA state has a population before initialization")
+		}
+	} else {
+		if d > 65535 {
+			return fmt.Errorf("sst: MOGA state dimensionality %d out of range", d)
+		}
+		if maxArity < m.cfg.MinArity || maxArity > m.cfg.MaxArity || maxArity > d {
+			return fmt.Errorf("sst: MOGA state maxArity %d inconsistent with config arity [%d,%d] over %d dims",
+				maxArity, m.cfg.MinArity, m.cfg.MaxArity, d)
+		}
+		if popLen != m.cfg.PopSize {
+			return fmt.Errorf("sst: MOGA state population %d, config says %d", popLen, m.cfg.PopSize)
+		}
+		for _, dims := range popDims {
+			if len(dims) < m.cfg.MinArity || len(dims) > maxArity {
+				return fmt.Errorf("sst: MOGA genome arity %d out of [%d,%d]", len(dims), m.cfg.MinArity, maxArity)
+			}
+			for i, dim := range dims {
+				if int(dim) >= d || (i > 0 && dims[i] <= dims[i-1]) {
+					return fmt.Errorf("sst: MOGA genome %v invalid over %d dims", dims, d)
+				}
+			}
+		}
+	}
+	m.src.Seed(m.cfg.Seed)
+	m.src.skipTo(draws)
+	m.owned = owned
+	m.d = d
+	m.maxArity = maxArity
+	m.pop = nil
+	m.next = nil
+	if d > 0 {
+		m.pop = make([]genome, popLen)
+		for i := range m.pop {
+			g := &m.pop[i]
+			m.ensureBits(g)
+			for _, dim := range popDims[i] {
+				g.bits[dim>>6] |= 1 << (uint(dim) & 63)
+			}
+			g.dims = append(g.dims[:0], popDims[i]...)
+		}
+	}
+	return nil
+}
+
+// MarshalState implements StateMarshaler by concatenating the
+// sub-evolvers' states in order; sub-evolvers without state of their
+// own are recorded as stateless.
+func (m Multi) MarshalState() ([]byte, error) {
+	var enc stateEnc
+	enc.u8(evolverStateVersion)
+	enc.u32(uint32(len(m)))
+	for i, sub := range m {
+		sm, ok := sub.(StateMarshaler)
+		if !ok {
+			enc.u8(0)
+			continue
+		}
+		payload, err := sm.MarshalState()
+		if err != nil {
+			return nil, fmt.Errorf("sst: Multi sub-evolver %d: %w", i, err)
+		}
+		enc.u8(1)
+		enc.u32(uint32(len(payload)))
+		enc.b = append(enc.b, payload...)
+	}
+	return enc.b, nil
+}
+
+// UnmarshalState implements StateMarshaler. The Multi must hold the
+// same sub-evolver composition that produced the state: the count and
+// each position's statefulness must match, or the state would silently
+// apply to the wrong group.
+func (m Multi) UnmarshalState(data []byte) error {
+	dec := stateDec{b: data}
+	if v := dec.u8(); v != evolverStateVersion && dec.err == nil {
+		return fmt.Errorf("sst: Multi state version %d, this build reads %d", v, evolverStateVersion)
+	}
+	n := dec.count(1)
+	if dec.err == nil && n != len(m) {
+		return fmt.Errorf("sst: Multi state holds %d sub-evolvers, this combinator has %d", n, len(m))
+	}
+	for i := 0; i < n && dec.err == nil; i++ {
+		hasState := dec.u8()
+		if hasState > 1 {
+			return fmt.Errorf("sst: Multi sub-evolver %d: invalid state flag %d", i, hasState)
+		}
+		sm, ok := m[i].(StateMarshaler)
+		if hasState == 0 {
+			if ok {
+				return fmt.Errorf("sst: Multi sub-evolver %d is stateful but the state has none for it", i)
+			}
+			continue
+		}
+		if !ok {
+			return fmt.Errorf("sst: Multi sub-evolver %d is stateless but the state carries some", i)
+		}
+		pl := dec.count(1)
+		payload := dec.take(pl)
+		if dec.err != nil {
+			break
+		}
+		if err := sm.UnmarshalState(payload); err != nil {
+			return fmt.Errorf("sst: Multi sub-evolver %d: %w", i, err)
+		}
+	}
+	return dec.finish()
+}
+
+// EvolvedSlot describes one evolved template slot for serialization:
+// the live subspace's dimension set, or a tombstone awaiting reuse.
+type EvolvedSlot struct {
+	// Dims is the slot's dimension set; empty for a tombstoned slot.
+	Dims []uint16
+	// Active reports whether the slot holds a live subspace.
+	Active bool
+}
+
+// EvolvedSlots returns the template's evolved slots in ID order
+// (IDs FixedCount() + index). Tombstoned slots come back with empty
+// dims, so the caller serializes exactly the live state.
+func (t *Template) EvolvedSlots() []EvolvedSlot {
+	slots := make([]EvolvedSlot, 0, len(t.sizes)-t.fixed)
+	for i := t.fixed; i < len(t.sizes); i++ {
+		s := EvolvedSlot{Active: t.active[i]}
+		if t.active[i] {
+			s.Dims = append([]uint16(nil), t.Dims(i)...)
+		}
+		slots = append(slots, s)
+	}
+	return slots
+}
+
+// FreeSlots returns a copy of the tombstoned-slot reuse list in its
+// internal (LIFO) order; restoring it verbatim makes future slot reuse
+// identical to the uninterrupted run's.
+func (t *Template) FreeSlots() []uint32 {
+	return append([]uint32(nil), t.free...)
+}
+
+// RestoreEvolved rebuilds the evolved group of a freshly constructed
+// template from serialized slots and the free list, in ID order. The
+// template must hold only its fixed group; slot contents are validated
+// (legal strictly increasing dimension sets, no duplicates, free list
+// exactly covering the tombstoned slots) so corrupt snapshots fail
+// here with an error instead of corrupting the index.
+func (t *Template) RestoreEvolved(slots []EvolvedSlot, free []uint32) error {
+	if len(t.sizes) != t.fixed {
+		return fmt.Errorf("sst: RestoreEvolved on a template with %d evolved slots", len(t.sizes)-t.fixed)
+	}
+	if len(slots) > core.MaxSubspaceID+1-t.fixed {
+		return fmt.Errorf("sst: %d evolved slots exceed the subspace-ID budget", len(slots))
+	}
+	inactive := 0
+	for _, s := range slots {
+		id := uint32(len(t.sizes))
+		if !s.Active {
+			if len(s.Dims) != 0 {
+				return fmt.Errorf("sst: tombstoned slot %d carries dimensions", id)
+			}
+			t.sizes = append(t.sizes, 0)
+			t.active = append(t.active, false)
+			t.dims = append(t.dims, make([]uint16, t.stride)...)
+			inactive++
+			continue
+		}
+		if len(s.Dims) < 1 || len(s.Dims) > core.MaxSubspaceDims {
+			return fmt.Errorf("sst: slot %d arity %d out of [1,%d]", id, len(s.Dims), core.MaxSubspaceDims)
+		}
+		for i, d := range s.Dims {
+			if int(d) >= t.spaceDims {
+				return fmt.Errorf("sst: slot %d dimension %d out of range", id, d)
+			}
+			if i > 0 && s.Dims[i] <= s.Dims[i-1] {
+				return fmt.Errorf("sst: slot %d dimension set %v not strictly increasing", id, s.Dims)
+			}
+		}
+		sg := sig(s.Dims)
+		if _, dup := t.index[sg]; dup {
+			return fmt.Errorf("sst: slot %d duplicates subspace %v", id, s.Dims)
+		}
+		t.sizes = append(t.sizes, uint8(len(s.Dims)))
+		t.active = append(t.active, true)
+		start := len(t.dims)
+		t.dims = append(t.dims, s.Dims...)
+		for len(t.dims) < start+t.stride {
+			t.dims = append(t.dims, 0)
+		}
+		t.index[sg] = id
+		if len(s.Dims) > t.maxDim {
+			t.maxDim = len(s.Dims)
+		}
+	}
+	if len(free) != inactive {
+		return fmt.Errorf("sst: free list has %d entries for %d tombstoned slots", len(free), inactive)
+	}
+	seen := make(map[uint32]bool, len(free))
+	for _, id := range free {
+		if int(id) < t.fixed || int(id) >= len(t.sizes) || t.active[id] || seen[id] {
+			return fmt.Errorf("sst: free-list entry %d is not a distinct tombstoned evolved slot", id)
+		}
+		seen[id] = true
+	}
+	t.free = append([]uint32(nil), free...)
+	return nil
+}

@@ -27,11 +27,25 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"spot/internal/core"
 	"spot/internal/sst"
+)
+
+// Typed errors of the ingestion API, returned by ProcessBatchErr (the
+// panicking ProcessBatch wraps them): a caller's malformed batch must
+// not take the detector's learned state down with it.
+var (
+	// ErrBatchLength marks a flat batch whose length is not a multiple
+	// of the configured dimensionality.
+	ErrBatchLength = errors.New("stream: batch length not a multiple of Dims")
+	// ErrVerdictBuffer marks a verdict buffer shorter than the batch.
+	ErrVerdictBuffer = errors.New("stream: verdict buffer shorter than batch")
+	// ErrClosed marks a call on a detector after Close.
+	ErrClosed = errors.New("stream: detector is closed")
 )
 
 // Config parameterizes a Detector.
@@ -356,20 +370,40 @@ func (d *Detector) Process(point []float64) bool {
 // crosses an epoch boundary is split internally so sweeps still run at
 // exact epoch ticks, making verdicts identical to feeding the points to
 // Process one by one.
+//
+// ProcessBatch panics on a malformed call (batch length not a multiple
+// of Dims, verdict buffer shorter than the batch, detector closed);
+// callers that prefer an error use ProcessBatchErr, which this is a
+// thin wrapper over.
 func (d *Detector) ProcessBatch(flat []float64, out []bool) int {
+	n, err := d.ProcessBatchErr(flat, out)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ProcessBatchErr is ProcessBatch with validation instead of panics:
+// a malformed call returns a typed error (ErrBatchLength,
+// ErrVerdictBuffer, ErrClosed) before any state is touched, so a
+// buggy caller cannot corrupt or crash the detector's learned state.
+func (d *Detector) ProcessBatchErr(flat []float64, out []bool) (int, error) {
+	if d.closed {
+		return 0, ErrClosed
+	}
 	if len(flat)%d.cfg.Dims != 0 {
-		panic("stream: batch length not a multiple of Dims")
+		return 0, fmt.Errorf("%w: %d values over %d dims", ErrBatchLength, len(flat), d.cfg.Dims)
 	}
 	n := len(flat) / d.cfg.Dims
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	if len(out) < n {
-		panic("stream: verdict buffer shorter than batch")
+		return 0, fmt.Errorf("%w: %d slots for %d points", ErrVerdictBuffer, len(out), n)
 	}
 	if d.cfg.EpochTicks == 0 {
 		d.runBatch(flat, n, out)
-		return n
+		return n, nil
 	}
 	for done := 0; done < n; {
 		chunk := n - done
@@ -380,7 +414,7 @@ func (d *Detector) ProcessBatch(flat []float64, out []bool) int {
 		done += chunk
 		d.maybeSweep()
 	}
-	return n
+	return n, nil
 }
 
 // runBatch dispatches one (sub-)batch of n points to the shard workers

@@ -53,6 +53,13 @@ type epochCounters struct {
 	evictedBase      uint64
 	promoted         uint64
 	demoted          uint64
+	evolverPanics    uint64
+
+	// Checkpoint telemetry, process-local (never serialized): counts
+	// and wall time of Snapshot calls, and the last snapshot's size.
+	checkpoints     uint64
+	checkpointNanos uint64
+	checkpointBytes uint64
 }
 
 // maybeSweep runs an epoch sweep when the stream just crossed an epoch
@@ -171,7 +178,7 @@ func (d *Detector) epochSweep() {
 			Subspaces: d.perSub,
 			Examples:  d.examples,
 		}
-		d.applyEvolution(d.cfg.Evolver.Evolve(d.tmpl, &stats))
+		d.applyEvolution(d.safeEvolve(&stats))
 	}
 	// Publish the new averages as per-subspace precomputed floors so
 	// the hot path tests the arity-aware RD with one compare. After
@@ -180,6 +187,23 @@ func (d *Detector) epochSweep() {
 	for _, sh := range d.shards {
 		sh.refreshPopFloors()
 	}
+}
+
+// safeEvolve invokes the configured Evolver with panic containment:
+// an evolver that panics mid-epoch yields an empty verdict — nothing
+// promoted, nothing demoted — and increments Stats.EvolverPanics,
+// instead of unwinding the sweep and taking the detector's learned
+// state down with it. The template is only mutated by applyEvolution
+// after Evolve returns, so a panicking evolver cannot leave it
+// half-mutated.
+func (d *Detector) safeEvolve(stats *sst.EpochStats) (ev sst.Evolution) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.counters.evolverPanics++
+			ev = sst.Evolution{}
+		}
+	}()
+	return d.cfg.Evolver.Evolve(d.tmpl, stats)
 }
 
 // applyEvolution mutates the template and shard assignment per the
@@ -239,6 +263,17 @@ type Stats struct {
 	EvolvedActive int
 	Promoted      uint64
 	Demoted       uint64
+	// EvolverPanics counts epoch sweeps whose Evolver invocation
+	// panicked and was contained: the sweep applied no evolution that
+	// epoch and processing continued.
+	EvolverPanics uint64
+	// Checkpoints, CheckpointNanos and CheckpointBytes describe this
+	// process's Snapshot calls: how many ran, their cumulative wall
+	// time, and the size of the most recent checkpoint. Process-local —
+	// a restored detector starts them at zero.
+	Checkpoints     uint64
+	CheckpointNanos uint64
+	CheckpointBytes uint64
 	// Examples is the number of labeled outlier examples currently
 	// retained for supervised evolution.
 	Examples int
@@ -279,6 +314,10 @@ func (d *Detector) Stats() Stats {
 		EvolvedActive:     d.tmpl.EvolvedCount(),
 		Promoted:          d.counters.promoted,
 		Demoted:           d.counters.demoted,
+		EvolverPanics:     d.counters.evolverPanics,
+		Checkpoints:       d.counters.checkpoints,
+		CheckpointNanos:   d.counters.checkpointNanos,
+		CheckpointBytes:   d.counters.checkpointBytes,
 		Examples:          len(d.examples),
 		CoalescedPoints:   coalPoints,
 		CoalescedDistinct: coalDistinct,

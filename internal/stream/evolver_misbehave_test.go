@@ -24,6 +24,73 @@ func (s *scriptedEvolver) Evolve(*sst.Template, *sst.EpochStats) sst.Evolution {
 	return ev
 }
 
+// panickyEvolver blows up on a scripted subset of its Evolve calls and
+// behaves on the rest.
+type panickyEvolver struct {
+	calls   int
+	panicOn map[int]bool
+}
+
+// Evolve implements sst.Evolver.
+func (p *panickyEvolver) Evolve(*sst.Template, *sst.EpochStats) sst.Evolution {
+	p.calls++
+	if p.panicOn[p.calls] {
+		panic("evolver bug")
+	}
+	return sst.Evolution{Promote: [][]uint16{{uint16(p.calls), uint16(p.calls + 1)}}}
+}
+
+// TestPanickingEvolverIsContained: an Evolver that panics mid-sweep
+// must not take the detector down. The sweep applies no evolution that
+// epoch, counts the incident in Stats.EvolverPanics, demotes nothing,
+// and later well-behaved epochs evolve normally.
+func TestPanickingEvolverIsContained(t *testing.T) {
+	const d = 6
+	ev := &panickyEvolver{panicOn: map[int]bool{1: true, 3: true}}
+	cfg := DefaultConfig(d)
+	cfg.MaxSubspaceDim = 1
+	cfg.Shards = 2
+	cfg.Warmup = 30
+	cfg.EpochTicks = 64
+	cfg.EvictEpsilon = 1e-6
+	cfg.Evolver = ev
+	det, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+
+	point := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	run := func(epochs int) Stats {
+		for i := 0; i < 64*epochs; i++ {
+			det.Process(point)
+		}
+		return det.Stats()
+	}
+
+	// Epoch 1 panics: no evolution, one contained incident, fixed
+	// group untouched.
+	s := run(1)
+	if s.Sweeps != 1 || s.EvolverPanics != 1 {
+		t.Fatalf("after epoch 1: Sweeps=%d EvolverPanics=%d, want 1/1", s.Sweeps, s.EvolverPanics)
+	}
+	if s.Promoted != 0 || s.Demoted != 0 || s.EvolvedActive != 0 {
+		t.Fatalf("panicking epoch mutated the template: %+v", s)
+	}
+	if det.Template().FixedCount() != d || !det.Template().Active(0) {
+		t.Fatal("fixed group mutated by panicking evolver")
+	}
+
+	// Epoch 2 behaves: its promotion lands.
+	if s = run(1); s.EvolverPanics != 1 || s.Promoted != 1 || s.EvolvedActive != 1 {
+		t.Fatalf("after epoch 2: %+v, want one promotion and no new panic", s)
+	}
+	// Epoch 3 panics again: counted, nothing demoted, epoch 4 evolves.
+	if s = run(2); s.Sweeps != 4 || s.EvolverPanics != 2 || s.Promoted != 2 || s.Demoted != 0 {
+		t.Fatalf("after epoch 4: %+v, want 4 sweeps, 2 contained panics, 2 promotions", s)
+	}
+}
+
 // TestMisbehavingEvolverIsContained: the detector must survive an
 // evolver that proposes duplicates of fixed-group members, malformed
 // dimension sets, demotions of fixed or dead IDs, and the same set
