@@ -17,6 +17,7 @@ vet:
 fuzz:
 	go test -run '^$$' -fuzz FuzzEncodeDecodeCell -fuzztime 10s ./internal/core
 	go test -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime 10s ./internal/snapshot
+	go test -run '^$$' -fuzz FuzzScoreStateRoundTrip -fuzztime 10s ./internal/stream
 
 # lint = vet + the repo's godoc discipline (every exported symbol in
 # internal/ and cmd/ must carry a doc comment, see cmd/doccheck) + the

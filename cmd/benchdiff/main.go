@@ -24,6 +24,8 @@ type benchRow struct {
 	PointsPerSec          float64 `json:"points_per_sec"`
 	DistinctCellsPerBatch float64 `json:"distinct_cells_per_batch"`
 	CellDupRatio          float64 `json:"cell_dup_ratio"`
+	AUC                   float64 `json:"auc"`
+	PrecisionAtK          float64 `json:"precision_at_k"`
 }
 
 // ckptRow is the slice of the checkpoint section benchdiff tracks: the
@@ -46,7 +48,10 @@ type benchReport struct {
 }
 
 // delta is one compared scenario; distinct/dup carry the candidate's
-// duplication statistics when its artifact records them.
+// duplication statistics when its artifact records them, oldAUC/newAUC
+// and oldPrec/newPrec the ranking-quality pair when the baseline has
+// one (pre-scoring artifacts and uniform rows record zeros and are not
+// compared).
 type delta struct {
 	name      string
 	oldPts    float64
@@ -54,8 +59,18 @@ type delta struct {
 	pct       float64 // (new-old)/old, in percent
 	distinct  float64
 	dup       float64
+	oldAUC    float64
+	newAUC    float64
+	oldPrec   float64
+	newPrec   float64
 	regressed bool
 }
+
+// qualityDrop is the absolute AUC / precision@K fall that counts as a
+// ranking regression. Quality metrics live on a bounded [0,1] scale, so
+// the gate is an absolute drop, not the relative one used for
+// throughput.
+const qualityDrop = 0.05
 
 // loadReport reads and decodes one artifact.
 func loadReport(path string) (*benchReport, error) {
@@ -75,7 +90,8 @@ func loadReport(path string) (*benchReport, error) {
 
 // diff compares the scenarios shared by both reports (matched by name,
 // baseline order) and flags every one whose points/sec fell by more
-// than threshold. A newly added grid point is not a regression, and a
+// than threshold or whose AUC / precision@K fell by more than
+// qualityDrop absolute. A newly added grid point is not a regression, and a
 // baseline scenario absent from the candidate is not compared — but it
 // is returned in missing, so the gate's output says so instead of
 // silently shrinking (a renamed scenario, or a harness bug that stops
@@ -101,9 +117,21 @@ func diff(oldR, newR *benchReport, threshold float64) (out []delta, regressions 
 			pct:      100 * (nb.PointsPerSec - ob.PointsPerSec) / ob.PointsPerSec,
 			distinct: nb.DistinctCellsPerBatch,
 			dup:      nb.CellDupRatio,
+			oldAUC:   ob.AUC,
+			newAUC:   nb.AUC,
+			oldPrec:  ob.PrecisionAtK,
+			newPrec:  nb.PrecisionAtK,
 		}
 		if nb.PointsPerSec < ob.PointsPerSec*(1-threshold) {
 			d.regressed = true
+		}
+		if ob.AUC > 0 && nb.AUC < ob.AUC-qualityDrop {
+			d.regressed = true
+		}
+		if ob.PrecisionAtK > 0 && nb.PrecisionAtK < ob.PrecisionAtK-qualityDrop {
+			d.regressed = true
+		}
+		if d.regressed {
 			regressions++
 		}
 		out = append(out, d)
@@ -202,12 +230,17 @@ func run(oldR, newR *benchReport, threshold float64, warn bool) {
 		if d.dup > 0 {
 			dup = fmt.Sprintf("  (%.0f distinct/batch ×%.1f dup)", d.distinct, d.dup)
 		}
+		quality := ""
+		if d.oldAUC > 0 || d.newAUC > 0 {
+			quality = fmt.Sprintf("  auc %.3f->%.3f p@k %.3f->%.3f",
+				d.oldAUC, d.newAUC, d.oldPrec, d.newPrec)
+		}
 		mark := ""
 		if d.regressed {
 			mark = "  << REGRESSION"
 		}
-		fmt.Printf("  %-34s %10.0f -> %10.0f points/sec  %+6.1f%%%s%s\n",
-			d.name, d.oldPts, d.newPts, d.pct, dup, mark)
+		fmt.Printf("  %-34s %10.0f -> %10.0f points/sec  %+6.1f%%%s%s%s\n",
+			d.name, d.oldPts, d.newPts, d.pct, dup, quality, mark)
 	}
 	for _, name := range missing {
 		fmt.Printf("  %-34s present in baseline only  << MISSING\n", name)

@@ -16,6 +16,7 @@ import (
 	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -53,6 +54,24 @@ type result struct {
 	// the adaptive gate skipped every pass.
 	DistinctCellsPerBatch float64 `json:"distinct_cells_per_batch"`
 	CellDupRatio          float64 `json:"cell_dup_ratio"`
+	// Ranking quality on a fresh labeled evaluation stream fed after the
+	// timed window: tie-aware rank AUC of the ensemble score against the
+	// planted ground truth, precision@K at K = planted count
+	// (R-precision, with fractional credit for the boundary tie group),
+	// and the recall of the plain verdict bitset on the same points —
+	// the baseline the calibrated ranking has to beat. Zero on the
+	// uniform adversarial stream, which plants no outliers.
+	EvalPoints   int     `json:"eval_points"`
+	EvalPlanted  int     `json:"eval_planted"`
+	AUC          float64 `json:"auc"`
+	PrecisionAtK float64 `json:"precision_at_k"`
+	RankK        int     `json:"rank_k"`
+	BitsetRecall float64 `json:"bitset_recall"`
+	// BitsetPrecisionAtK is precision@K of the bitset treated as a
+	// two-level ranking (flagged=1, unflagged=0, ties fractional) — the
+	// best a consumer of the old boolean API can do when asked for the K
+	// worst offenders, and the floor the calibrated score must beat.
+	BitsetPrecisionAtK float64 `json:"bitset_precision_at_k"`
 }
 
 // driftResult reports the bounded-memory run: a jump-drifting stream
@@ -145,6 +164,12 @@ func run(name string, d, shards, batch int, dur time.Duration, uniform, noCoales
 	// it here (its hot-path cost is one compare); the drift and
 	// evolution runs below use real streams and keep it.
 	cfg.RDPopulatedThreshold = 0
+	// The timed loop runs scored: AllocsPerPoint below is the live proof
+	// that ensemble scoring, attribution capture and top-K maintenance
+	// stay allocation-free in steady state, and the post-timed eval
+	// phase reuses the same detector for the ranking metrics.
+	cfg.Scoring = true
+	cfg.TopK = 16
 	det, err := stream.New(cfg)
 	if err != nil {
 		return result{}, err
@@ -158,12 +183,13 @@ func run(name string, d, shards, batch int, dur time.Duration, uniform, noCoales
 	flats := make([][]float64, pool)
 	labels := make([]bool, batch)
 	out := make([]bool, batch)
+	scores := make([]float64, batch)
 	for i := range flats {
 		flats[i] = make([]float64, batch*d)
 		gen.Fill(flats[i], labels, batch)
 	}
 	for i := range flats { // populate cell tables before timing
-		det.ProcessBatch(flats[i], out)
+		det.ProcessBatchScored(flats[i], out, scores)
 	}
 
 	var msBefore runtime.MemStats
@@ -171,7 +197,7 @@ func run(name string, d, shards, batch int, dur time.Duration, uniform, noCoales
 	points, flagged := 0, 0
 	start := time.Now()
 	for i := 0; time.Since(start) < dur; i++ {
-		det.ProcessBatch(flats[i%pool], out)
+		det.ProcessBatchScored(flats[i%pool], out, scores)
 		points += batch
 		for _, f := range out {
 			if f {
@@ -187,6 +213,42 @@ func run(name string, d, shards, batch int, dur time.Duration, uniform, noCoales
 		distinct = float64(s.CoalescedDistinct) / float64(s.CoalesceGroupings)
 		dup = float64(s.CoalescedPoints) / float64(s.CoalescedDistinct)
 	}
+
+	// Ranking evaluation: fresh labeled points from the same generator
+	// (not the recycled pool), scored by the warmed detector. The planted
+	// outliers are the ground truth for AUC / precision@K; the verdict
+	// bitset's recall on the identical points is the baseline.
+	const evalBatches = 16
+	evalScores := make([]float64, 0, evalBatches*batch)
+	evalBits := make([]float64, 0, evalBatches*batch)
+	evalLabels := make([]bool, 0, evalBatches*batch)
+	planted, caught := 0, 0
+	for i := 0; i < evalBatches; i++ {
+		gen.Fill(flats[0], labels, batch)
+		det.ProcessBatchScored(flats[0], out, scores)
+		evalScores = append(evalScores, scores...)
+		evalLabels = append(evalLabels, labels...)
+		for j, lab := range labels {
+			bit := 0.0
+			if out[j] {
+				bit = 1.0
+			}
+			evalBits = append(evalBits, bit)
+			if lab {
+				planted++
+				if out[j] {
+					caught++
+				}
+			}
+		}
+	}
+	auc, prec, rankK := rankMetrics(evalScores, evalLabels)
+	_, bitsetPrec, _ := rankMetrics(evalBits, evalLabels)
+	var bitsetRecall float64
+	if planted > 0 {
+		bitsetRecall = float64(caught) / float64(planted)
+	}
+
 	return result{
 		Name:           name,
 		Dims:           d,
@@ -206,7 +268,88 @@ func run(name string, d, shards, batch int, dur time.Duration, uniform, noCoales
 
 		DistinctCellsPerBatch: distinct,
 		CellDupRatio:          dup,
+		EvalPoints:            len(evalLabels),
+		EvalPlanted:           planted,
+		AUC:                   auc,
+		PrecisionAtK:          prec,
+		RankK:                 rankK,
+		BitsetRecall:          bitsetRecall,
+		BitsetPrecisionAtK:    bitsetPrec,
 	}, nil
+}
+
+// rankMetrics scores a labeled ranking: tie-aware AUC via the rank-sum
+// (Mann–Whitney U) statistic with average ranks over tie groups, and
+// precision@K at K = positive count with fractional credit for
+// positives inside the tie group straddling the K-th rank — both are
+// therefore invariant to how a sort breaks score ties. Returns zeros
+// when either class is empty (e.g. the uniform stream plants nothing).
+func rankMetrics(scores []float64, labels []bool) (auc, precAtK float64, k int) {
+	n := len(scores)
+	pos := 0
+	for _, lab := range labels {
+		if lab {
+			pos++
+		}
+	}
+	if pos == 0 || pos == n {
+		return 0, 0, pos
+	}
+	k = pos
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	// AUC: walk descending score, assign each tie group its average
+	// rank (1 = highest score), then AUC = (R⁺ − pos(pos+1)/2)/(pos·neg)
+	// computed against ascending ranks — equivalently, flip the
+	// descending rank sum.
+	var posRankSum float64
+	for i := 0; i < n; {
+		j := i
+		grpPos := 0
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] {
+				grpPos++
+			}
+			j++
+		}
+		avgDescRank := float64(i+j+1) / 2 // mean of descending ranks i+1..j
+		posRankSum += float64(grpPos) * avgDescRank
+		i = j
+	}
+	neg := n - pos
+	// Convert descending ranks to ascending: rAsc = n+1 − rDesc.
+	ascSum := float64(pos)*float64(n+1) - posRankSum
+	auc = (ascSum - float64(pos)*float64(pos+1)/2) / (float64(pos) * float64(neg))
+
+	// Precision@K: positives strictly above the K-th score count whole;
+	// the tie group at the K-th score fills the remaining slots with its
+	// positive fraction.
+	kth := scores[idx[k-1]]
+	above, posAbove, tieN, tiePos := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		switch {
+		case scores[i] > kth:
+			above++
+			if labels[i] {
+				posAbove++
+			}
+		case scores[i] == kth:
+			tieN++
+			if labels[i] {
+				tiePos++
+			}
+		}
+	}
+	credit := float64(posAbove)
+	if tieN > 0 {
+		credit += float64(k-above) * float64(tiePos) / float64(tieN)
+	}
+	precAtK = credit / float64(k)
+	return auc, precAtK, k
 }
 
 // coalesceResult reports the duplication-aware coalescing scenarios:
@@ -777,8 +920,9 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			fmt.Printf("%-18s %12.0f points/sec  (%d subspaces, %d cells, %.0f distinct/batch ×%.1f dup)\n",
-				r.Name, r.PointsPerSec, r.Subspaces, r.ProjectedCell, r.DistinctCellsPerBatch, r.CellDupRatio)
+			fmt.Printf("%-18s %12.0f points/sec  auc=%.3f p@%d=%.3f (bitset %.3f)  (%d subspaces, %d cells, %.0f distinct/batch ×%.1f dup)\n",
+				r.Name, r.PointsPerSec, r.AUC, r.RankK, r.PrecisionAtK, r.BitsetPrecisionAtK,
+				r.Subspaces, r.ProjectedCell, r.DistinctCellsPerBatch, r.CellDupRatio)
 			rep.Benchmarks = append(rep.Benchmarks, r)
 			perDim[d][shards] = r.PointsPerSec
 			if d == 20 && shards == 1 {

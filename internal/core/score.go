@@ -1,0 +1,75 @@
+package core
+
+// Scoring primitives: when the detector runs with scoring enabled, the
+// verdict pass no longer collapses each measure's threshold compare to
+// a bit — it records which measures fired (a Measure bitset) and how
+// far below threshold each one landed (a normalized deficit). Both are
+// computed from values the verdict pass already holds in registers, so
+// retaining them costs no extra table probes and no allocations.
+
+// Measure is a bitset naming the outlier-ness measures of the SPOT
+// verdict pass. A flagged (subspace, cell) pair carries the set of
+// measures that fired on it, so attribution can say not just where a
+// point looked anomalous but why.
+type Measure uint8
+
+const (
+	// MeasureRD fires when the cell's Relative Density — decayed
+	// density over the uniform expectation — falls below RDThreshold.
+	MeasureRD Measure = 1 << iota
+	// MeasureRDPopulated fires when the cell's decayed density falls
+	// below the arity-aware populated floor (RDPopulatedThreshold
+	// times the latest sweep's same-arity populated average).
+	MeasureRDPopulated
+	// MeasureIRSD fires when the Inverse Relative Standard Deviation
+	// falls below IRSDThreshold.
+	MeasureIRSD
+	// MeasureIkRD fires when the Inverse k-Relative Distance falls
+	// below IkRDThreshold.
+	MeasureIkRD
+)
+
+// measureNames orders the measure labels by bit position.
+var measureNames = [...]string{"RD", "RDPop", "IRSD", "IkRD"}
+
+// String renders the set as "+"-joined measure names, "none" when
+// empty; unknown high bits render as "?".
+func (m Measure) String() string {
+	if m == 0 {
+		return "none"
+	}
+	s := ""
+	for i, name := range measureNames {
+		if m&(1<<uint(i)) != 0 {
+			if s != "" {
+				s += "+"
+			}
+			s += name
+		}
+	}
+	if m>>uint(len(measureNames)) != 0 {
+		if s != "" {
+			s += "+"
+		}
+		s += "?"
+	}
+	return s
+}
+
+// Deficit normalizes how far a measure value fell below its firing
+// threshold: 0 when the measure did not fire (value ≥ threshold, or a
+// disabled/non-positive threshold), approaching 1 as the value
+// approaches zero, exactly 1 at or below zero. Dividing by the
+// threshold makes deficits comparable across measures and across
+// subspace arities — the RD compare's threshold side already carries
+// the arity-dependent φ^k scaling, so its deficit is the relative
+// shortfall, not an absolute density difference.
+func Deficit(value, threshold float64) float64 {
+	if threshold <= 0 || value >= threshold {
+		return 0
+	}
+	if value <= 0 {
+		return 1
+	}
+	return 1 - value/threshold
+}

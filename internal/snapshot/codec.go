@@ -41,7 +41,11 @@ const Magic = "SPOTSNP1"
 // state whose semantics are pinned by the writing build, so version
 // skew is a hard error rather than a best-effort migration (the
 // version-skew policy is documented in docs/ARCHITECTURE.md).
-const Version uint32 = 1
+//
+// History: 1 — initial format; 2 — the stream meta section gained the
+// scoring fields (Scoring flag, top-K capacity) and a top-K heap
+// section follows the evolver state when scoring retains one.
+const Version uint32 = 2
 
 // EndSection is the reserved section ID of the end-of-stream marker.
 const EndSection uint32 = 0xFFFFFFFF

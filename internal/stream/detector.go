@@ -44,6 +44,12 @@ var (
 	ErrBatchLength = errors.New("stream: batch length not a multiple of Dims")
 	// ErrVerdictBuffer marks a verdict buffer shorter than the batch.
 	ErrVerdictBuffer = errors.New("stream: verdict buffer shorter than batch")
+	// ErrScoreBuffer marks a score buffer shorter than the batch in a
+	// ProcessBatchScored call.
+	ErrScoreBuffer = errors.New("stream: score buffer shorter than batch")
+	// ErrScoringDisabled marks a scored-API call (ProcessScored,
+	// ProcessBatchScored) on a detector built without Config.Scoring.
+	ErrScoringDisabled = errors.New("stream: scoring is not enabled")
 	// ErrClosed marks a call on a detector after Close.
 	ErrClosed = errors.New("stream: detector is closed")
 )
@@ -152,6 +158,20 @@ type Config struct {
 	// results are bit-identical either way; the flag exists to measure
 	// the pause difference and to debug with a single-threaded sweep.
 	SerialSweep bool
+	// Scoring retains per-subspace deviation magnitudes through the
+	// verdict pass and folds them into one calibrated ensemble outlier
+	// score per flagged point (see ProcessScored, ProcessBatchScored,
+	// Explain). Strictly additive: verdict bits are identical with
+	// scoring on or off, and the hot path stays allocation-free — the
+	// extra cost is recording (subspace, cell, measures, severity)
+	// entries for flagged pairs and one merge-sort-fold per batch over
+	// them, proportional to the flag rate, not the stream.
+	Scoring bool
+	// TopK, when positive, maintains a streaming top-K of the
+	// highest-scoring points (see Detector.TopK): a bounded min-heap
+	// whose entries fade with Lambda and are evicted below
+	// EvictEpsilon at epoch sweeps. Requires Scoring. 0 disables.
+	TopK int
 	// NoCoalesce disables batch cell coalescing: ProcessBatch then
 	// always takes the fused one-probe-per-point TouchCols path instead
 	// of grouping each (subspace, batch) by cell and probing once per
@@ -244,6 +264,16 @@ type Detector struct {
 	coordArena []uint8
 	counters   epochCounters
 
+	// Scoring state (Config.Scoring): the merged, (point, subspace)-
+	// sorted attribution entries of the most recent ingest call (what
+	// Explain reads), the preallocated sorter over it, the internal
+	// score buffer for unscored ingest calls, and the streaming top-K
+	// heap (nil unless Config.TopK > 0).
+	attr         attrBuf
+	sorter       attrSorter
+	scoreScratch []float64
+	topk         *topK
+
 	jobs      []chan job
 	done      chan struct{}
 	workersUp bool
@@ -291,6 +321,12 @@ func New(cfg Config) (*Detector, error) {
 	if cfg.MaxExamples < 0 {
 		return nil, fmt.Errorf("stream: MaxExamples must be non-negative, got %d", cfg.MaxExamples)
 	}
+	if cfg.TopK < 0 {
+		return nil, fmt.Errorf("stream: TopK must be non-negative, got %d", cfg.TopK)
+	}
+	if cfg.TopK > 0 && !cfg.Scoring {
+		return nil, fmt.Errorf("stream: TopK requires Scoring (the heap ranks ensemble scores)")
+	}
 	min, max := cfg.Min, cfg.Max
 	if min == nil && max == nil {
 		min = make([]float64, cfg.Dims)
@@ -317,6 +353,12 @@ func New(cfg Config) (*Detector, error) {
 		decay:    core.NewDecayTable(cfg.Lambda),
 		bcs:      core.NewBCSTable(cfg.Dims),
 		bscratch: make([]uint8, cfg.Dims),
+	}
+	if cfg.Scoring {
+		d.scoreScratch = make([]float64, 1)
+		if cfg.TopK > 0 {
+			d.topk = newTopK(cfg.TopK, cfg.Lambda)
+		}
 	}
 	// Round-robin partition of subspace IDs. The template enumerates
 	// by increasing arity, so round-robin also balances the arity mix
@@ -354,11 +396,17 @@ func (d *Detector) Process(point []float64) bool {
 	t := d.tick
 	d.grid.Intervals(point, d.bscratch)
 	d.bcs.Touch(d.decay, t, d.bscratch, point)
+	if d.cfg.Scoring {
+		d.attr.reset()
+	}
 	out := false
 	for _, sh := range d.shards {
 		if sh.processPoint(point, d.bscratch, t) {
 			out = true
 		}
+	}
+	if d.cfg.Scoring {
+		d.mergeScores(1, t-1, 0, d.scoreScratch[:1])
 	}
 	d.maybeSweep()
 	return out
@@ -387,10 +435,34 @@ func (d *Detector) ProcessBatch(flat []float64, out []bool) int {
 // a malformed call returns a typed error (ErrBatchLength,
 // ErrVerdictBuffer, ErrClosed) before any state is touched, so a
 // buggy caller cannot corrupt or crash the detector's learned state.
+// Note the verdict-buffer contract validates against the point count
+// n = len(flat)/Dims, not len(flat): out needs one slot per point.
+// Only out[0:n] is written; longer buffers keep their tail.
 func (d *Detector) ProcessBatchErr(flat []float64, out []bool) (int, error) {
 	if d.closed {
 		return 0, ErrClosed
 	}
+	n, err := d.validateBatch(flat, out)
+	if err != nil || n == 0 {
+		return n, err
+	}
+	var scores []float64
+	if d.cfg.Scoring {
+		// Unscored ingest still maintains attribution and the top-K
+		// (scoring is a property of the detector, not of the call);
+		// the scores land in the internal scratch.
+		if cap(d.scoreScratch) < n {
+			d.scoreScratch = make([]float64, n)
+		}
+		scores = d.scoreScratch[:n]
+	}
+	d.processBatches(flat, n, out, scores)
+	return n, nil
+}
+
+// validateBatch applies the shared batch-shape checks and returns the
+// point count.
+func (d *Detector) validateBatch(flat []float64, out []bool) (int, error) {
 	if len(flat)%d.cfg.Dims != 0 {
 		return 0, fmt.Errorf("%w: %d values over %d dims", ErrBatchLength, len(flat), d.cfg.Dims)
 	}
@@ -401,20 +473,34 @@ func (d *Detector) ProcessBatchErr(flat []float64, out []bool) (int, error) {
 	if len(out) < n {
 		return 0, fmt.Errorf("%w: %d slots for %d points", ErrVerdictBuffer, len(out), n)
 	}
+	return n, nil
+}
+
+// processBatches splits a validated batch at epoch boundaries and runs
+// the chunks. scores is nil when scoring is disabled, else exactly n
+// slots; attribution point indices are offset by each chunk's base so
+// Explain indexes the whole call.
+func (d *Detector) processBatches(flat []float64, n int, out []bool, scores []float64) {
+	if d.cfg.Scoring {
+		d.attr.reset()
+	}
 	if d.cfg.EpochTicks == 0 {
-		d.runBatch(flat, n, out)
-		return n, nil
+		d.runBatch(flat, n, out, scores, 0)
+		return
 	}
 	for done := 0; done < n; {
 		chunk := n - done
 		if rem := int(d.cfg.EpochTicks - d.tick%d.cfg.EpochTicks); chunk > rem {
 			chunk = rem
 		}
-		d.runBatch(flat[done*d.cfg.Dims:(done+chunk)*d.cfg.Dims], chunk, out[done:done+chunk])
+		var sc []float64
+		if scores != nil {
+			sc = scores[done : done+chunk]
+		}
+		d.runBatch(flat[done*d.cfg.Dims:(done+chunk)*d.cfg.Dims], chunk, out[done:done+chunk], sc, done)
 		done += chunk
 		d.maybeSweep()
 	}
-	return n, nil
 }
 
 // runBatch dispatches one (sub-)batch of n points to the shard workers
@@ -422,8 +508,10 @@ func (d *Detector) ProcessBatchErr(flat []float64, out []bool) (int, error) {
 // computes the batch's discretization plane — one n×Dims pass instead
 // of one per shard — then overlaps the base-cell updates with the
 // workers; the shards' verdict bitsets are OR-merged word-wise and
-// expanded to out once.
-func (d *Detector) runBatch(flat []float64, n int, out []bool) {
+// expanded to out once. With scoring enabled the shards' attribution
+// entries are then merged and folded into scores (see mergeScores);
+// base is the chunk's offset within the caller's batch.
+func (d *Detector) runBatch(flat []float64, n int, out []bool, scores []float64, base int) {
 	t0 := d.tick
 	d.tick += uint64(n)
 	dims := d.cfg.Dims
@@ -467,6 +555,9 @@ func (d *Detector) runBatch(flat []float64, n int, out []bool) {
 	}
 	for i := 0; i < n; i++ {
 		out[i] = merged[i>>6]&(1<<(uint(i)&63)) != 0
+	}
+	if d.cfg.Scoring {
+		d.mergeScores(n, t0, base, scores)
 	}
 }
 

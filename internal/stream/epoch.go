@@ -187,6 +187,14 @@ func (d *Detector) epochSweep() {
 	for _, sh := range d.shards {
 		sh.refreshPopFloors()
 	}
+	// Top-K epoch decay: entries whose faded score fell below the same
+	// eviction floor the summary tables use are dropped, so the
+	// worst-offenders window forgets at the stream's pace. Depends
+	// only on (tick, eps), so batch and pointwise heaps stay
+	// identical.
+	if d.topk != nil {
+		d.topk.decayEvict(d.decay, tick, eps)
+	}
 }
 
 // safeEvolve invokes the configured Evolver with panic containment:

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"spot/internal/snapshot"
+)
+
+// FuzzScoreStateRoundTrip drives the top-K heap decoder with arbitrary
+// section payloads — seeded with genuine encodings — wrapped in a
+// well-formed snapshot framing, so the fuzzer explores the content
+// validation rather than the (separately fuzzed) framing layer. The
+// invariant: decodeScoreState either rejects with a typed snapshot
+// error or accepts, and whatever it accepts re-encodes and re-decodes
+// to the identical heap.
+func FuzzScoreStateRoundTrip(f *testing.F) {
+	encode := func(h *topK) []byte {
+		var buf bytes.Buffer
+		w, err := snapshot.NewWriter(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		w.Begin(secScore)
+		encodeScoreState(w, h)
+		w.End()
+		w.Close()
+		return buf.Bytes()
+	}
+	section := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		w, err := snapshot.NewWriter(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		w.Begin(secScore)
+		for _, b := range payload {
+			w.U8(b)
+		}
+		w.End()
+		w.Close()
+		return buf.Bytes()
+	}
+	// Genuine heaps, empty through full.
+	h := newTopK(4, 0.01)
+	f.Add(encode(h), uint64(100), uint8(4))
+	h.add(10, 0.5)
+	h.add(20, 0.9)
+	f.Add(encode(h), uint64(100), uint8(4))
+	h.add(30, 0.1)
+	h.add(40, 1.0)
+	f.Add(encode(h), uint64(100), uint8(4))
+	// Adversarial shapes: lying count, short payload, zero capacity.
+	f.Add(section([]byte{0xff, 0xff, 0xff, 0xff}), uint64(100), uint8(4))
+	f.Add(section([]byte{1, 0, 0, 0, 1, 2, 3}), uint64(100), uint8(4))
+	f.Add(encode(h), uint64(0), uint8(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, tick uint64, k uint8) {
+		r, err := snapshot.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // framing rejected; not this fuzz target's layer
+		}
+		sec, err := r.Next()
+		if err != nil || sec.ID != secScore {
+			return
+		}
+		dst := newTopK(int(k%16), 0.01)
+		if err := decodeScoreState(sec, dst, tick); err != nil {
+			if !errors.Is(err, snapshot.ErrCorrupt) && !errors.Is(err, snapshot.ErrTruncated) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted state must survive a lossless round trip.
+		raw := encode(dst)
+		r2, err := snapshot.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("re-encoded framing rejected: %v", err)
+		}
+		sec2, err := r2.Next()
+		if err != nil {
+			t.Fatalf("re-encoded section rejected: %v", err)
+		}
+		dst2 := newTopK(int(k%16), 0.01)
+		if err := decodeScoreState(sec2, dst2, tick); err != nil {
+			t.Fatalf("re-encoded state rejected: %v", err)
+		}
+		if len(dst2.ticks) != len(dst.ticks) {
+			t.Fatalf("round trip changed entry count: %d vs %d", len(dst2.ticks), len(dst.ticks))
+		}
+		for i := range dst.ticks {
+			if dst2.ticks[i] != dst.ticks[i] || dst2.scores[i] != dst.scores[i] || dst2.keys[i] != dst.keys[i] {
+				t.Fatalf("round trip changed entry %d: (%d, %g, %g) vs (%d, %g, %g)",
+					i, dst2.ticks[i], dst2.scores[i], dst2.keys[i],
+					dst.ticks[i], dst.scores[i], dst.keys[i])
+			}
+		}
+	})
+}

@@ -87,7 +87,7 @@ func TestShardInvarianceProperty(t *testing.T) {
 			return sst.Multi{ts, mg}
 		}
 
-		runShards := func(shards int, noCoalesce bool) ([]bool, Stats, []uint16) {
+		runShards := func(shards int, noCoalesce, scoring bool) ([]bool, []float64, Stats, []uint16) {
 			cfg := DefaultConfig(d)
 			cfg.MaxSubspaceDim = maxDim
 			cfg.Shards = shards
@@ -97,6 +97,10 @@ func TestShardInvarianceProperty(t *testing.T) {
 			cfg.EvictEpsilon = 1e-4
 			cfg.RDPopulatedThreshold = 0.2
 			cfg.NoCoalesce = noCoalesce
+			cfg.Scoring = scoring
+			if scoring {
+				cfg.TopK = 8
+			}
 			cfg.Evolver = mkEvolver()
 			det, err := New(cfg)
 			if err != nil {
@@ -104,9 +108,17 @@ func TestShardInvarianceProperty(t *testing.T) {
 			}
 			defer det.Close()
 			verdicts := make([]bool, n)
+			var scores []float64
+			if scoring {
+				scores = make([]float64, n)
+			}
 			off := 0
 			for _, b := range batches {
-				det.ProcessBatch(flat[off*d:(off+b)*d], verdicts[off:off+b])
+				if scoring {
+					det.ProcessBatchScored(flat[off*d:(off+b)*d], verdicts[off:off+b], scores[off:off+b])
+				} else {
+					det.ProcessBatch(flat[off*d:(off+b)*d], verdicts[off:off+b])
+				}
 				if supervised {
 					// The analyst confirms every planted outlier of the
 					// batch — identical feedback at every shard count.
@@ -122,10 +134,10 @@ func TestShardInvarianceProperty(t *testing.T) {
 			for _, id := range det.Template().EvolvedIDs(nil) {
 				evolved = append(evolved, det.Template().Dims(int(id))...)
 			}
-			return verdicts, det.Stats(), evolved
+			return verdicts, scores, det.Stats(), evolved
 		}
 
-		baseV, baseS, baseE := runShards(1, false)
+		baseV, _, baseS, baseE := runShards(1, false, false)
 		// Shard counts with coalescing on, plus the NoCoalesce escape
 		// hatch at two shard counts: the coalesced run-fold and the
 		// fused per-point path must agree bit for bit, as must every
@@ -135,7 +147,7 @@ func TestShardInvarianceProperty(t *testing.T) {
 			noCoalesce bool
 		}{{4, false}, {8, false}, {1, true}, {4, true}} {
 			variant := fmt.Sprintf("%d shards (NoCoalesce=%v)", v.shards, v.noCoalesce)
-			vv, s, e := runShards(v.shards, v.noCoalesce)
+			vv, _, s, e := runShards(v.shards, v.noCoalesce, false)
 			for i := range baseV {
 				if vv[i] != baseV[i] {
 					t.Fatalf("%s: verdict for point %d differs at %s", scenario, i, variant)
@@ -150,6 +162,40 @@ func TestShardInvarianceProperty(t *testing.T) {
 			for i := range e {
 				if e[i] != baseE[i] {
 					t.Fatalf("%s: evolved groups differ at %s: %v vs %v", scenario, variant, e, baseE)
+				}
+			}
+		}
+
+		// Scoring legs. Enabling scoring must not move a single verdict
+		// bit, scores must be bit-identical across coalesce modes at a
+		// fixed shard count, and across shard counts they may differ
+		// only by the documented popFloor summation-order ULPs — bounded
+		// here at 1e-9.
+		scoredV, scoredScores, _, _ := runShards(1, false, true)
+		for i := range baseV {
+			if scoredV[i] != baseV[i] {
+				t.Fatalf("%s: scoring changed the verdict for point %d", scenario, i)
+			}
+			if (scoredScores[i] > 0) != baseV[i] {
+				t.Fatalf("%s: point %d verdict=%v but score=%g", scenario, i, baseV[i], scoredScores[i])
+			}
+		}
+		_, ncScores, _, _ := runShards(1, true, true)
+		for i := range scoredScores {
+			if ncScores[i] != scoredScores[i] {
+				t.Fatalf("%s: score for point %d differs between coalesce modes: %g vs %g",
+					scenario, i, ncScores[i], scoredScores[i])
+			}
+		}
+		for _, shards := range []int{4, 8} {
+			shV, shScores, _, _ := runShards(shards, false, true)
+			for i := range scoredScores {
+				if shV[i] != baseV[i] {
+					t.Fatalf("%s: scored verdict for point %d differs at %d shards", scenario, i, shards)
+				}
+				if diff := shScores[i] - scoredScores[i]; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("%s: score for point %d differs at %d shards: %g vs %g",
+						scenario, i, shards, shScores[i], scoredScores[i])
 				}
 			}
 		}

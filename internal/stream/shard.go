@@ -137,6 +137,14 @@ type shard struct {
 
 	sweepEvicted int           // eviction count of the last sweep (read after workers sync)
 	sweepEvolved []evolvedCell // per-sweep scratch: surviving evolved-subspace cells
+
+	// attr collects this shard's attribution entries for the current
+	// point/batch when Config.Scoring is set: one entry per flagged
+	// (subspace, cell) pair, point indices relative to the chunk. The
+	// shard writes it lock-free during its verdict pass; the
+	// dispatcher reads it after the batch joins, merges across shards
+	// and sorts, so scores never depend on the shard layout.
+	attr attrBuf
 }
 
 // Adaptive-gate constants of the coalesced batch path: a grouping pass
@@ -317,6 +325,10 @@ func (s *shard) processPoint(point []float64, coords []uint8, tick uint64) bool 
 	rdThr := cfg.RDThreshold
 	warmup := cfg.Warmup
 	k := cfg.K
+	scoring := cfg.Scoring
+	if scoring {
+		s.attr.reset()
+	}
 	rb := 0
 	for li := range s.states {
 		st := &s.states[li]
@@ -387,6 +399,14 @@ func (s *shard) processPoint(point []float64, coords []uint8, tick uint64) bool 
 		// test rd < RDThreshold and the IRSD/IkRD gate rd < 1 become
 		// one multiply each instead of a division per subspace.
 		lhs := dc * st.phiPow
+		if scoring {
+			fired, sev := s.scoredVerdict(st, li, key, lhs, dc, tbl.CellAt(slots[li]).S, tot, st.total.S, st.total.Q, rdThr)
+			if fired != 0 {
+				out = true
+				s.attr.add(0, s.subs[li], key, fired, sev)
+			}
+			continue
+		}
 		if lhs < rdThr*tot || dc < st.popFloor {
 			out = true
 		} else if lhs < tot && s.outlyingSlow(st, li, key, tbl.CellAt(slots[li]).Mean(), tot, st.total.S, st.total.Q) {
@@ -448,6 +468,10 @@ func (s *shard) processBatch(jb job) {
 	rdThr := cfg.RDThreshold
 	warmup := cfg.Warmup
 	k := cfg.K
+	scoring := cfg.Scoring
+	if scoring {
+		s.attr.reset()
+	}
 	f1 := decay.At(1)
 	flatT, planeT := jb.flatT, jb.planeT
 	noCoalesce := cfg.NoCoalesce
@@ -574,6 +598,13 @@ func (s *shard) processBatch(jb job) {
 				continue
 			}
 			lhs := dc * phiPow
+			if scoring {
+				if fired, sev := s.scoredVerdict(st, li, key, lhs, dc, ss[i], tdc, ts, tq, rdThr); fired != 0 {
+					verdict[i>>6] |= 1 << (uint(i) & 63)
+					s.attr.add(int32(i), s.subs[li], key, fired, sev)
+				}
+				continue
+			}
 			if lhs < rdThr*tdc || dc < popFloor {
 				verdict[i>>6] |= 1 << (uint(i) & 63)
 			} else if lhs < tdc && s.outlyingSlow(st, li, key, ss[i]/dc, tdc, ts, tq) {
@@ -735,4 +766,89 @@ func (s *shard) outlyingSlow(st *subspaceState, li int, key uint64, cellMean, td
 		}
 	}
 	return false
+}
+
+// scoredVerdict is the scoring-path verdict for one (subspace, cell)
+// pair: the same gate set as the unscored fast path — RD, the
+// populated floor, and IRSD/IkRD behind the rd < 1 gate — but
+// returning the full set of fired measures and the maximum normalized
+// deficit (core.Deficit) among them instead of short-circuiting on the
+// first hit. fired != 0 exactly when the unscored path would have
+// flagged, which is what keeps verdict bits identical with scoring on.
+// cellS is the cell's post-touch decayed magnitude sum; the mean is
+// only derived past the rd < 1 gate, mirroring the unscored cost
+// profile. Reached only past the warmup gate.
+func (s *shard) scoredVerdict(st *subspaceState, li int, key uint64, lhs, dc, cellS, tdc, ts, tq, rdThr float64) (core.Measure, float64) {
+	var fired core.Measure
+	var sev float64
+	if rhs := rdThr * tdc; lhs < rhs {
+		fired = core.MeasureRD
+		sev = core.Deficit(lhs, rhs)
+	}
+	if dc < st.popFloor {
+		fired |= core.MeasureRDPopulated
+		if s2 := core.Deficit(dc, st.popFloor); s2 > sev {
+			sev = s2
+		}
+	}
+	if lhs < tdc {
+		f2, s2 := s.slowMeasures(st, li, key, cellS/dc, tdc, ts, tq)
+		fired |= f2
+		if s2 > sev {
+			sev = s2
+		}
+	}
+	return fired, sev
+}
+
+// slowMeasures is outlyingSlow retaining magnitudes: it evaluates both
+// IRSD and IkRD (no short-circuit — attribution wants every fired
+// measure) under the identical firing conditions and returns the fired
+// set with the larger deficit. outlyingSlow returns true iff this
+// returns a non-empty set, for the same inputs.
+func (s *shard) slowMeasures(st *subspaceState, li int, key uint64, cellMean, tdc, ts, tq float64) (core.Measure, float64) {
+	cfg := &s.det.cfg
+	var fired core.Measure
+	var sev float64
+	if cfg.IRSDThreshold > 0 && tdc > 0 {
+		mu := ts / tdc
+		if v := tq/tdc - mu*mu; v > 0 {
+			z := math.Abs(cellMean-mu) / math.Sqrt(v)
+			if irsd := 1 / (1 + z); irsd < cfg.IRSDThreshold {
+				fired = core.MeasureIRSD
+				sev = core.Deficit(irsd, cfg.IRSDThreshold)
+			}
+		}
+	}
+	if cfg.IkRDThreshold > 0 && st.invMaxDist > 0 {
+		k := cfg.K
+		repKey := s.repKeys[li*k : li*k+k]
+		repDc := s.repDcs[li*k : li*k+k]
+		sum, cnt := 0.0, 0
+		for i, rk := range repKey {
+			if repDc[i] <= 0 || rk == key {
+				continue
+			}
+			dist := 0
+			for j := 0; j < int(st.size); j++ {
+				dj := int(core.CoordAt(key, j)) - int(core.CoordAt(rk, j))
+				if dj < 0 {
+					dj = -dj
+				}
+				dist += dj
+			}
+			sum += float64(dist)
+			cnt++
+		}
+		if cnt > 0 {
+			ikrd := 1 - (sum/float64(cnt))*st.invMaxDist
+			if ikrd < cfg.IkRDThreshold {
+				fired |= core.MeasureIkRD
+				if s2 := core.Deficit(ikrd, cfg.IkRDThreshold); s2 > sev {
+					sev = s2
+				}
+			}
+		}
+	}
+	return fired, sev
 }

@@ -28,9 +28,12 @@ import (
 // such boundary by construction (ProcessBatch joins them before
 // returning), so no extra synchronization is needed and none is taken.
 //
-// Wire format (snapshot format version 1): the sections below inside
+// Wire format (snapshot format version 2): the sections below inside
 // the internal/snapshot codec's framing (magic, format version, CRC32
-// per section), in this fixed order.
+// per section), in this fixed order. Version 2 extended secMeta with
+// the scoring fields (Scoring flag, top-K capacity) and added the
+// trailing secScore heap dump; version-1 checkpoints are rejected with
+// snapshot.ErrVersion per the skew policy.
 const (
 	secMeta     uint32 = 1 // geometry + tick; validated against Config
 	secTemplate uint32 = 2 // evolved SST slots, tombstones, free list
@@ -39,6 +42,7 @@ const (
 	secExamples uint32 = 5 // labeled outlier examples
 	secCounters uint32 = 6 // popAvg + epoch-engine lifetime counters
 	secEvolver  uint32 = 7 // evolver state (present iff marshalable)
+	secScore    uint32 = 8 // top-K heap entries (present iff TopK > 0)
 )
 
 // ErrConfigMismatch marks a Restore whose Config disagrees with the
@@ -83,6 +87,8 @@ func (d *Detector) Snapshot(w io.Writer) error {
 	sw.U64(d.tick)
 	sw.Bool(d.cfg.Evolver != nil)
 	sw.Bool(hasEvolverState)
+	sw.Bool(d.cfg.Scoring)
+	sw.U32(uint32(d.cfg.TopK))
 	if err := sw.End(); err != nil {
 		return err
 	}
@@ -207,6 +213,13 @@ func (d *Detector) Snapshot(w io.Writer) error {
 			return err
 		}
 	}
+	if d.topk != nil {
+		sw.Begin(secScore)
+		encodeScoreState(sw, d.topk)
+		if err := sw.End(); err != nil {
+			return err
+		}
+	}
 	if err := sw.Close(); err != nil {
 		return err
 	}
@@ -296,6 +309,8 @@ func Restore(r io.Reader, cfg Config) (*Detector, error) {
 	tick := sec.U64()
 	hasEvolver := sec.Bool()
 	hasEvolverState := sec.Bool()
+	scoring := sec.Bool()
+	topK := int(sec.U32())
 	if err := sec.Err(); err != nil {
 		return nil, err
 	}
@@ -312,6 +327,10 @@ func Restore(r io.Reader, cfg Config) (*Detector, error) {
 		return nil, fmt.Errorf("%w: snapshot has Lambda %g, config %g", ErrConfigMismatch, lambda, cfg.Lambda)
 	case hasEvolver != (cfg.Evolver != nil):
 		return nil, fmt.Errorf("%w: snapshot evolver presence %v, config %v", ErrConfigMismatch, hasEvolver, cfg.Evolver != nil)
+	case scoring != cfg.Scoring:
+		return nil, fmt.Errorf("%w: snapshot scoring %v, config %v", ErrConfigMismatch, scoring, cfg.Scoring)
+	case topK != cfg.TopK:
+		return nil, fmt.Errorf("%w: snapshot TopK %d, config %d", ErrConfigMismatch, topK, cfg.TopK)
 	}
 	_, marshalable := d.cfg.Evolver.(sst.StateMarshaler)
 	if hasEvolverState != marshalable {
@@ -488,6 +507,15 @@ func Restore(r io.Reader, cfg Config) (*Detector, error) {
 			return nil, corruptf("evolver state: %v", err)
 		}
 	}
+	if d.topk != nil {
+		sec, err = next(sr, secScore)
+		if err != nil {
+			return nil, err
+		}
+		if err := decodeScoreState(sec, d.topk, d.tick); err != nil {
+			return nil, err
+		}
+	}
 	// Drain the end marker; anything else trailing is corruption.
 	if _, err := sr.Next(); err != io.EOF {
 		if err == nil {
@@ -496,6 +524,64 @@ func Restore(r io.Reader, cfg Config) (*Detector, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// encodeScoreState serializes the top-K heap into the open secScore
+// section: entry count, then each slot's (tick, raw score) in heap
+// array order, so a restore reproduces the exact slot layout — and
+// therefore the exact future displacement and query behavior — rather
+// than a merely equivalent heap. Ranking keys are not stored: they are
+// a pure function of (tick, score, λ) and are recomputed bit-
+// identically on restore.
+func encodeScoreState(sw *snapshot.Writer, h *topK) {
+	sw.U32(uint32(len(h.ticks)))
+	for i := range h.ticks {
+		sw.U64(h.ticks[i])
+		sw.F64(h.scores[i])
+	}
+}
+
+// decodeScoreState rebuilds the heap from a secScore section into h
+// (built empty at the config's capacity). Entries are validated —
+// count within capacity, scores finite in (0,1] (the noisy-OR range),
+// ticks not past the stream tick, and the min-heap property over the
+// recomputed keys — with any violation reported as snapshot.ErrCorrupt.
+func decodeScoreState(sec *snapshot.Section, h *topK, tick uint64) error {
+	n := sec.Count(16)
+	if err := sec.Err(); err != nil {
+		return err
+	}
+	if n > h.k {
+		return corruptf("top-K holds %d entries, capacity %d", n, h.k)
+	}
+	h.ticks = h.ticks[:0]
+	h.scores = h.scores[:0]
+	h.keys = h.keys[:0]
+	for i := 0; i < n; i++ {
+		t := sec.U64()
+		s := sec.F64()
+		if sec.Err() != nil {
+			break
+		}
+		if !(s > 0 && s <= 1) {
+			return corruptf("top-K entry %d score %g outside (0,1]", i, s)
+		}
+		if t > tick {
+			return corruptf("top-K entry %d tick %d is past the stream tick %d", i, t, tick)
+		}
+		h.ticks = append(h.ticks, t)
+		h.scores = append(h.scores, s)
+		h.keys = append(h.keys, h.rankKey(t, s))
+	}
+	if err := sec.Err(); err != nil {
+		return err
+	}
+	for i := 1; i < len(h.ticks); i++ {
+		if h.below(i, (i-1)/2) {
+			return corruptf("top-K entry %d violates the heap order", i)
+		}
+	}
+	return nil
 }
 
 // restoreShards applies the saved per-shard state to the freshly built

@@ -411,6 +411,161 @@ func TestRestoreFaultInjection(t *testing.T) {
 	}
 }
 
+// TestRestoreScoringEquivalence extends the crash-safety property to
+// the scoring layer: killing and restoring a scoring detector
+// mid-stream must reproduce the uninterrupted run's scores bit for
+// bit and the exact top-K window, the round trip must be byte-stable,
+// and the new meta fields must be config-matched. Corrupting the
+// scored snapshot anywhere must still fail typed.
+func TestRestoreScoringEquivalence(t *testing.T) {
+	meta := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 3; trial++ {
+		tr := makeSnapTrial(t, trial, meta)
+		cfgOf := func(shards int) Config {
+			cfg := tr.config(t, shards)
+			cfg.Scoring = true
+			cfg.TopK = 8
+			return cfg
+		}
+		feedScored := func(det *Detector, verdicts []bool, scores []float64, from, to int) {
+			off := 0
+			for i := 0; i < from; i++ {
+				off += tr.batches[i]
+			}
+			for bi := from; bi < to; bi++ {
+				b := tr.batches[bi]
+				det.ProcessBatchScored(tr.flat[off*tr.d:(off+b)*tr.d], verdicts[off:off+b], scores[off:off+b])
+				if tr.supervised {
+					for i := off; i < off+b; i++ {
+						if tr.labels[i] {
+							det.MarkExample(tr.flat[i*tr.d : (i+1)*tr.d])
+						}
+					}
+				}
+				off += b
+			}
+		}
+
+		for _, shards := range []int{1, 4} {
+			oracle, err := New(cfgOf(shards))
+			if err != nil {
+				t.Fatalf("%s: %v", tr.scenario, err)
+			}
+			oracleV := make([]bool, tr.n)
+			oracleScores := make([]float64, tr.n)
+			feedScored(oracle, oracleV, oracleScores, 0, len(tr.batches))
+			oracleTop := oracle.TopK(nil)
+			oracle.Close()
+
+			det, err := New(cfgOf(shards))
+			if err != nil {
+				t.Fatalf("%s: %v", tr.scenario, err)
+			}
+			verdicts := make([]bool, tr.n)
+			scores := make([]float64, tr.n)
+			feedScored(det, verdicts, scores, 0, tr.killAfter)
+			var buf bytes.Buffer
+			if err := det.Snapshot(&buf); err != nil {
+				t.Fatalf("%s: snapshot: %v", tr.scenario, err)
+			}
+			det.Close() // the crash
+
+			restored, err := Restore(bytes.NewReader(buf.Bytes()), cfgOf(shards))
+			if err != nil {
+				t.Fatalf("%s: restore: %v", tr.scenario, err)
+			}
+			feedScored(restored, verdicts, scores, tr.killAfter, len(tr.batches))
+			for i := range oracleV {
+				if verdicts[i] != oracleV[i] {
+					t.Fatalf("%s shards=%d: verdict for point %d differs after restore", tr.scenario, shards, i)
+				}
+				if scores[i] != oracleScores[i] {
+					t.Fatalf("%s shards=%d: score for point %d differs after restore: %g vs %g",
+						tr.scenario, shards, i, scores[i], oracleScores[i])
+				}
+			}
+			top := restored.TopK(nil)
+			if len(top) != len(oracleTop) {
+				t.Fatalf("%s shards=%d: top-K has %d entries after restore, oracle %d",
+					tr.scenario, shards, len(top), len(oracleTop))
+			}
+			for i := range top {
+				if top[i] != oracleTop[i] {
+					t.Fatalf("%s shards=%d: top-K entry %d differs: %+v vs %+v",
+						tr.scenario, shards, i, top[i], oracleTop[i])
+				}
+			}
+			// Byte stability: a re-snapshot of the restored detector at
+			// the kill point reproduces the original bytes (take it
+			// before feeding the continuation).
+			restored.Close()
+
+			restored2, err := Restore(bytes.NewReader(buf.Bytes()), cfgOf(shards))
+			if err != nil {
+				t.Fatalf("%s: second restore: %v", tr.scenario, err)
+			}
+			var again bytes.Buffer
+			if err := restored2.Snapshot(&again); err != nil {
+				t.Fatalf("%s: re-snapshot: %v", tr.scenario, err)
+			}
+			restored2.Close()
+			if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+				t.Fatalf("%s shards=%d: scored snapshot not byte-stable: %d vs %d bytes",
+					tr.scenario, shards, buf.Len(), again.Len())
+			}
+
+			if trial == 0 && shards == 1 {
+				// Scoring and TopK are state-shaping: restoring into a
+				// detector with either changed must be rejected.
+				off := cfgOf(1)
+				off.Scoring = false
+				off.TopK = 0
+				if _, err := Restore(bytes.NewReader(buf.Bytes()), off); !errors.Is(err, ErrConfigMismatch) {
+					t.Errorf("scoring off: got %v, want ErrConfigMismatch", err)
+				}
+				k2 := cfgOf(1)
+				k2.TopK = 16
+				if _, err := Restore(bytes.NewReader(buf.Bytes()), k2); !errors.Is(err, ErrConfigMismatch) {
+					t.Errorf("TopK changed: got %v, want ErrConfigMismatch", err)
+				}
+				plain, err := New(tr.config(t, 1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var plainBuf bytes.Buffer
+				if err := plain.Snapshot(&plainBuf); err != nil {
+					t.Fatal(err)
+				}
+				plain.Close()
+				if _, err := Restore(bytes.NewReader(plainBuf.Bytes()), cfgOf(1)); !errors.Is(err, ErrConfigMismatch) {
+					t.Errorf("scoring on over unscored snapshot: got %v, want ErrConfigMismatch", err)
+				}
+
+				// Fault injection over the scored bytes: bit flips across
+				// the file (covering the new meta fields and the top-K
+				// section) must surface typed errors, never panics.
+				raw := buf.Bytes()
+				typed := func(err error) bool {
+					return errors.Is(err, snapshot.ErrBadMagic) ||
+						errors.Is(err, snapshot.ErrVersion) ||
+						errors.Is(err, snapshot.ErrChecksum) ||
+						errors.Is(err, snapshot.ErrTruncated) ||
+						errors.Is(err, snapshot.ErrCorrupt) ||
+						errors.Is(err, snapshot.ErrInjected) ||
+						errors.Is(err, ErrConfigMismatch)
+				}
+				for off := 0; off < len(raw); off += 1 + len(raw)/61 {
+					mask := byte(1 << uint(off%8))
+					_, err := Restore(snapshot.NewBitFlipReader(bytes.NewReader(raw), int64(off), mask), cfgOf(1))
+					if err == nil || !typed(err) {
+						t.Errorf("scored bitflip@%d: got %v, want a typed snapshot error", off, err)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestKeeperRecoveryEndToEnd wires the real pieces together: periodic
 // detector checkpoints through a snapshot.Keeper, newest generation
 // corrupted on disk (the torn-overwrite shape), recovery from the last

@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"math"
+
+	"spot/internal/core"
+)
+
+// Streaming top-K over ensemble scores: a bounded min-heap that
+// answers "which K points looked worst this window" without retaining
+// the stream. Scores fade with the same exponential decay the
+// summaries use, so an old offender is eventually displaced by fresher
+// ones even if nothing outranks its original score.
+//
+// The heap never compares decayed scores directly — at tick t an entry
+// inserted at tick t0 with raw score s is worth s·2^(-λ(t-t0)), and
+// materializing that would cost a decay lookup per compare and
+// overflow 2^(λ·t) on long streams. Instead each entry carries the
+// time-invariant ranking key log2(s) + λ·t0: for any two entries the
+// order of their keys equals the order of their decayed scores at
+// every future tick (both sides fade by the same factor), so one key
+// computed at insert time is exact forever. Ties (equal keys) rank the
+// earlier tick higher, making the heap's content deterministic.
+//
+// Maintenance is allocation-free after the first growth to K entries;
+// insertion is O(log K) and rejected non-improving inserts are O(1).
+type topK struct {
+	k      int
+	lambda float64
+	// Parallel heap arrays, min-heap by (key, -tick): the root is the
+	// lowest-ranked entry, the one a better insert displaces.
+	ticks  []uint64
+	scores []float64 // raw score at insert tick
+	keys   []float64 // log2(score) + lambda*tick, fixed at insert
+}
+
+// newTopK builds an empty heap of capacity k (k ≥ 1).
+func newTopK(k int, lambda float64) *topK {
+	return &topK{
+		k:      k,
+		lambda: lambda,
+		ticks:  make([]uint64, 0, k),
+		scores: make([]float64, 0, k),
+		keys:   make([]float64, 0, k),
+	}
+}
+
+// rankKey is the time-invariant ordering key of an entry.
+func (h *topK) rankKey(tick uint64, score float64) float64 {
+	return math.Log2(score) + h.lambda*float64(tick)
+}
+
+// below reports whether entry i ranks below entry j (i is worse):
+// smaller key, or equal key with a later tick.
+func (h *topK) below(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.ticks[i] > h.ticks[j]
+}
+
+// add offers one scored point to the heap. Non-positive scores are
+// ignored (a zero score carries no evidence and log2 would produce
+// -Inf ties); when the heap is full the entry must outrank the current
+// minimum to enter.
+func (h *topK) add(tick uint64, score float64) {
+	if h.k == 0 || score <= 0 {
+		return
+	}
+	key := h.rankKey(tick, score)
+	if len(h.ticks) < h.k {
+		h.ticks = append(h.ticks, tick)
+		h.scores = append(h.scores, score)
+		h.keys = append(h.keys, key)
+		h.siftUp(len(h.ticks) - 1)
+		return
+	}
+	// Full: the candidate must outrank the root (the minimum).
+	if key < h.keys[0] || (key == h.keys[0] && tick > h.ticks[0]) {
+		return
+	}
+	h.ticks[0], h.scores[0], h.keys[0] = tick, score, key
+	h.siftDown(0)
+}
+
+func (h *topK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.below(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *topK) siftDown(i int) {
+	n := len(h.ticks)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.below(l, m) {
+			m = l
+		}
+		if r < n && h.below(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+func (h *topK) swap(i, j int) {
+	h.ticks[i], h.ticks[j] = h.ticks[j], h.ticks[i]
+	h.scores[i], h.scores[j] = h.scores[j], h.scores[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+}
+
+// scoreAt returns entry i's score decayed to the given tick.
+func (h *topK) scoreAt(decay *core.DecayTable, tick uint64, i int) float64 {
+	return h.scores[i] * decay.At(tick-h.ticks[i])
+}
+
+// decayEvict drops every entry whose decayed score at tick fell below
+// eps — the top-K analogue of the summary tables' epoch eviction, run
+// at the same sweeps — then restores the heap property over the
+// survivors. eps ≤ 0 keeps everything. Allocation-free.
+func (h *topK) decayEvict(decay *core.DecayTable, tick uint64, eps float64) {
+	if eps <= 0 {
+		return
+	}
+	w := 0
+	for i := range h.ticks {
+		if h.scoreAt(decay, tick, i) >= eps {
+			h.ticks[w], h.scores[w], h.keys[w] = h.ticks[i], h.scores[i], h.keys[i]
+			w++
+		}
+	}
+	h.ticks, h.scores, h.keys = h.ticks[:w], h.scores[:w], h.keys[:w]
+	for i := w/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// appendTo appends the heap's entries to buf — scores decayed to the
+// given tick, best first — and returns the extended slice. At a fixed
+// query tick, decayed scores order identically to the ranking keys
+// (both sides of any pair fade by the same factor), so sorting the
+// output by (decayed score desc, tick asc) needs no key bookkeeping in
+// the output type. Selection sort over ≤ K entries keeps the query
+// allocation-free when cap(buf) suffices.
+func (h *topK) appendTo(decay *core.DecayTable, tick uint64, buf []Offender) []Offender {
+	base := len(buf)
+	for i := range h.ticks {
+		buf = append(buf, Offender{Tick: h.ticks[i], Score: h.scoreAt(decay, tick, i)})
+	}
+	win := buf[base:]
+	for i := 0; i < len(win); i++ {
+		best := i
+		for j := i + 1; j < len(win); j++ {
+			if win[j].Score > win[best].Score ||
+				(win[j].Score == win[best].Score && win[j].Tick < win[best].Tick) {
+				best = j
+			}
+		}
+		win[i], win[best] = win[best], win[i]
+	}
+	return buf
+}
+
+// Offender is one streaming top-K entry: a flagged point identified by
+// its stream tick (Detector.Tick at the time it was ingested, 1-based)
+// and its ensemble score decayed to the tick of the TopK call.
+type Offender struct {
+	// Tick identifies the point: the value Detector.Tick() had right
+	// after the point was ingested.
+	Tick uint64
+	// Score is the point's ensemble outlier score, faded by
+	// 2^(-λ·Δt) for the Δt ticks elapsed since ingestion.
+	Score float64
+}

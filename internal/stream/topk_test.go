@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spot/internal/core"
+)
+
+// topkOracle is the naive reference the streaming heap is checked
+// against: it retains EVERY insert, removes decayed-below-eps entries
+// on the same schedule the heap does, and answers queries by fully
+// sorting. The heap must agree exactly: because ranking keys are
+// time-invariant and decay-eviction always removes a down-set of the
+// key order, the bounded heap loses nothing the oracle would keep in
+// its top K.
+type topkOracle struct {
+	ticks  []uint64
+	scores []float64
+	lambda float64
+}
+
+func (o *topkOracle) add(tick uint64, score float64) {
+	if score <= 0 {
+		return
+	}
+	o.ticks = append(o.ticks, tick)
+	o.scores = append(o.scores, score)
+}
+
+func (o *topkOracle) key(i int) float64 {
+	return math.Log2(o.scores[i]) + o.lambda*float64(o.ticks[i])
+}
+
+func (o *topkOracle) decayEvict(decay *core.DecayTable, tick uint64, eps float64) {
+	if eps <= 0 {
+		return
+	}
+	w := 0
+	for i := range o.ticks {
+		if o.scores[i]*decay.At(tick-o.ticks[i]) >= eps {
+			o.ticks[w], o.scores[w] = o.ticks[i], o.scores[i]
+			w++
+		}
+	}
+	o.ticks, o.scores = o.ticks[:w], o.scores[:w]
+}
+
+// top returns the k best entries by (key desc, tick asc) with scores
+// decayed to tick — the sort-based reference for appendTo.
+func (o *topkOracle) top(decay *core.DecayTable, tick uint64, k int) []Offender {
+	idx := make([]int, len(o.ticks))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection order by ranking key (the membership criterion), ties
+	// by earlier tick.
+	for i := 0; i < len(idx); i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			ki, kj := o.key(idx[best]), o.key(idx[j])
+			if kj > ki || (kj == ki && o.ticks[idx[j]] < o.ticks[idx[best]]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	out := make([]Offender, len(idx))
+	for i, j := range idx {
+		out[i] = Offender{Tick: o.ticks[j], Score: o.scores[j] * decay.At(tick-o.ticks[j])}
+	}
+	// appendTo orders by (decayed score desc, tick asc); at a fixed
+	// query tick that equals key order except when distinct keys round
+	// to the same decayed float, so re-sort the selected window the
+	// way the query sorts.
+	for i := 0; i < len(out); i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Score > out[best].Score ||
+				(out[j].Score == out[best].Score && out[j].Tick < out[best].Tick) {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out
+}
+
+// TestTopKOracleProperty drives random insert/decay/query schedules —
+// including score ties (λ=0 trials make equal scores exact key ties),
+// K greater than the population, and K=0 — through the heap and the
+// retain-everything sort oracle and requires exact agreement after
+// every operation.
+func TestTopKOracleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 80; trial++ {
+		k := rng.Intn(7) // 0..6, often larger than the population below
+		lambda := 0.0
+		if rng.Intn(3) > 0 {
+			lambda = 0.001 + rng.Float64()*0.05
+		}
+		decay := core.NewDecayTable(lambda)
+		h := newTopK(k, lambda)
+		o := &topkOracle{lambda: lambda}
+		tick := uint64(0)
+		// A small score palette so λ=0 trials produce exact ties.
+		palette := []float64{0.1, 0.25, 0.25, 0.5, 0.9, 1.0}
+		ops := 40 + rng.Intn(120)
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(10) {
+			case 0: // epoch-style decay eviction
+				eps := []float64{0, 1e-6, 1e-2, 0.2}[rng.Intn(4)]
+				h.decayEvict(decay, tick, eps)
+				o.decayEvict(decay, tick, eps)
+			default: // insert at a fresh tick
+				tick += 1 + uint64(rng.Intn(50))
+				s := palette[rng.Intn(len(palette))]
+				if rng.Intn(4) == 0 {
+					s = rng.Float64() // occasionally arbitrary
+				}
+				h.add(tick, s)
+				o.add(tick, s)
+			}
+			got := h.appendTo(decay, tick, nil)
+			want := o.top(decay, tick, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d op %d: heap has %d entries, oracle top-%d has %d",
+					trial, op, len(got), k, len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d op %d entry %d: heap %+v oracle %+v (k=%d λ=%g)",
+						trial, op, i, got[i], want[i], k, lambda)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKZeroAndRejects pins the cheap edges: K=0 accepts nothing,
+// non-positive scores are ignored, and a full heap rejects entries
+// that do not outrank its minimum without mutating state.
+func TestTopKZeroAndRejects(t *testing.T) {
+	decay := core.NewDecayTable(0.01)
+	h0 := newTopK(0, 0.01)
+	h0.add(1, 0.9)
+	if got := h0.appendTo(decay, 1, nil); len(got) != 0 {
+		t.Fatalf("K=0 heap returned %d entries", len(got))
+	}
+
+	h := newTopK(2, 0.01)
+	h.add(1, 0)    // no evidence
+	h.add(2, -0.5) // nonsensical, ignored
+	if got := h.appendTo(decay, 2, nil); len(got) != 0 {
+		t.Fatalf("non-positive scores entered the heap: %v", got)
+	}
+	h.add(3, 0.9)
+	h.add(4, 0.8)
+	h.add(5, 1e-9) // far below both decayed incumbents: rejected
+	got := h.appendTo(decay, 5, nil)
+	if len(got) != 2 || got[0].Tick != 3 || got[1].Tick != 4 {
+		t.Fatalf("unexpected heap content: %v", got)
+	}
+}
+
+// TestTopKDecayEvict checks the epoch-eviction boundary arithmetic
+// directly: an entry sits exactly at eps stays, just below goes.
+func TestTopKDecayEvict(t *testing.T) {
+	lambda := 0.01
+	decay := core.NewDecayTable(lambda)
+	h := newTopK(4, lambda)
+	h.add(1, 0.5)
+	h.add(100, 0.5)
+	// At tick 1000 the first entry decays by 2^(-0.01*999), the second
+	// by 2^(-0.01*900).
+	first := 0.5 * decay.At(999)
+	h.decayEvict(decay, 1000, first) // >= eps keeps: both entries survive
+	if got := h.appendTo(decay, 1000, nil); len(got) != 2 {
+		t.Fatalf("eps at the boundary evicted a surviving entry: %v", got)
+	}
+	h.decayEvict(decay, 1000, math.Nextafter(first, 1))
+	got := h.appendTo(decay, 1000, nil)
+	if len(got) != 1 || got[0].Tick != 100 {
+		t.Fatalf("eviction kept the wrong entries: %v", got)
+	}
+}
