@@ -7,7 +7,13 @@
 // often single-vCPU, which the printed num_cpu makes visible) can gate
 // perf work on the artifact instead of on eyeballs.
 //
-// Usage: benchdiff [-threshold 0.10] [-warn] OLD.json NEW.json
+// Quality metrics — ranking AUC / precision@K and the auto-threshold
+// calibration band — are machine-independent, so -block-quality makes
+// their regressions exit non-zero even under -warn: a noisy runner
+// excuses throughput wobble, never a worse ranking or a detector that
+// stopped honoring its requested flag rate.
+//
+// Usage: benchdiff [-threshold 0.10] [-quality-drop 0.05] [-warn] [-block-quality] OLD.json NEW.json
 package main
 
 import (
@@ -37,40 +43,55 @@ type ckptRow struct {
 	DecodeNsPerOp float64 `json:"decode_ns_per_op"`
 }
 
+// autoLeg is the slice of one auto-threshold scenario leg benchdiff
+// gates on: the in-band booleans are computed by spotbench against the
+// leg's own requested risk, so the gate needs no baseline to compare
+// against — a calibrated detector that stopped holding its rate is
+// broken in absolute terms.
+type autoLeg struct {
+	Name            string  `json:"name"`
+	Risk            float64 `json:"risk"`
+	InBandSteady    bool    `json:"in_band_steady"`
+	InBandPostDrift bool    `json:"in_band_post_drift"`
+}
+
+// autoSection is the auto_threshold block of the artifact.
+type autoSection struct {
+	Legs []autoLeg `json:"legs"`
+}
+
 // benchReport is the slice of the BENCH_core.json schema benchdiff
 // reads; unknown fields are ignored so old and new artifact versions
 // stay comparable.
 type benchReport struct {
-	GitSHA     string     `json:"git_sha"`
-	NumCPU     int        `json:"num_cpu"`
-	Benchmarks []benchRow `json:"benchmarks"`
-	Checkpoint *ckptRow   `json:"checkpoint"`
+	GitSHA        string       `json:"git_sha"`
+	NumCPU        int          `json:"num_cpu"`
+	Benchmarks    []benchRow   `json:"benchmarks"`
+	Checkpoint    *ckptRow     `json:"checkpoint"`
+	AutoThreshold *autoSection `json:"auto_threshold"`
 }
 
 // delta is one compared scenario; distinct/dup carry the candidate's
 // duplication statistics when its artifact records them, oldAUC/newAUC
 // and oldPrec/newPrec the ranking-quality pair when the baseline has
 // one (pre-scoring artifacts and uniform rows record zeros and are not
-// compared).
+// compared). qualityRegressed marks the machine-independent subset of
+// regressed — a ranking-quality fall rather than a throughput drop —
+// which -block-quality keeps blocking even under -warn.
 type delta struct {
-	name      string
-	oldPts    float64
-	newPts    float64
-	pct       float64 // (new-old)/old, in percent
-	distinct  float64
-	dup       float64
-	oldAUC    float64
-	newAUC    float64
-	oldPrec   float64
-	newPrec   float64
-	regressed bool
+	name             string
+	oldPts           float64
+	newPts           float64
+	pct              float64 // (new-old)/old, in percent
+	distinct         float64
+	dup              float64
+	oldAUC           float64
+	newAUC           float64
+	oldPrec          float64
+	newPrec          float64
+	regressed        bool
+	qualityRegressed bool
 }
-
-// qualityDrop is the absolute AUC / precision@K fall that counts as a
-// ranking regression. Quality metrics live on a bounded [0,1] scale, so
-// the gate is an absolute drop, not the relative one used for
-// throughput.
-const qualityDrop = 0.05
 
 // loadReport reads and decodes one artifact.
 func loadReport(path string) (*benchReport, error) {
@@ -91,12 +112,14 @@ func loadReport(path string) (*benchReport, error) {
 // diff compares the scenarios shared by both reports (matched by name,
 // baseline order) and flags every one whose points/sec fell by more
 // than threshold or whose AUC / precision@K fell by more than
-// qualityDrop absolute. A newly added grid point is not a regression, and a
+// qualityDrop absolute (quality metrics live on a bounded [0,1] scale,
+// so their gate is an absolute drop, not the relative one used for
+// throughput). A newly added grid point is not a regression, and a
 // baseline scenario absent from the candidate is not compared — but it
 // is returned in missing, so the gate's output says so instead of
 // silently shrinking (a renamed scenario, or a harness bug that stops
 // emitting its row, must not pass unseen).
-func diff(oldR, newR *benchReport, threshold float64) (out []delta, regressions int, missing []string) {
+func diff(oldR, newR *benchReport, threshold, qualityDrop float64) (out []delta, regressions int, missing []string) {
 	byName := make(map[string]benchRow, len(newR.Benchmarks))
 	for _, b := range newR.Benchmarks {
 		byName[b.Name] = b
@@ -126,10 +149,10 @@ func diff(oldR, newR *benchReport, threshold float64) (out []delta, regressions 
 			d.regressed = true
 		}
 		if ob.AUC > 0 && nb.AUC < ob.AUC-qualityDrop {
-			d.regressed = true
+			d.regressed, d.qualityRegressed = true, true
 		}
 		if ob.PrecisionAtK > 0 && nb.PrecisionAtK < ob.PrecisionAtK-qualityDrop {
-			d.regressed = true
+			d.regressed, d.qualityRegressed = true, true
 		}
 		if d.regressed {
 			regressions++
@@ -182,12 +205,39 @@ func diffCheckpoint(old, cand *ckptRow, threshold float64) (regressions int) {
 	return regressions
 }
 
+// checkAutoThreshold gates the candidate's auto-threshold legs: every
+// leg with a requested risk must sit inside [q/3, 3q] on both sides of
+// the drift. The booleans are self-contained (spotbench computes them
+// against the leg's own q), so a missing baseline section changes
+// nothing — but a baseline WITH the section and a candidate without it
+// is a vanished scenario and fails like one.
+func checkAutoThreshold(old, cand *autoSection) (qualityRegressions int, missing bool) {
+	if cand == nil {
+		return 0, old != nil
+	}
+	for _, leg := range cand.Legs {
+		if leg.Risk <= 0 {
+			continue
+		}
+		mark := ""
+		if !leg.InBandSteady || !leg.InBandPostDrift {
+			mark = "  << QUALITY REGRESSION"
+			qualityRegressions++
+		}
+		fmt.Printf("  auto-threshold/%-19s in band steady=%v post-drift=%v (q=%g)%s\n",
+			leg.Name, leg.InBandSteady, leg.InBandPostDrift, leg.Risk, mark)
+	}
+	return qualityRegressions, false
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative points/sec drop that counts as a regression")
+	qualityDrop := flag.Float64("quality-drop", 0.05, "absolute AUC / precision@K drop that counts as a quality regression")
 	warn := flag.Bool("warn", false, "report regressions but exit 0 (noisy or single-vCPU runners)")
+	blockQuality := flag.Bool("block-quality", false, "exit non-zero on quality regressions even under -warn (quality is machine-independent)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-warn] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-quality-drop 0.05] [-warn] [-block-quality] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	oldR, err := loadReport(flag.Arg(0))
@@ -195,7 +245,7 @@ func main() {
 		var newR *benchReport
 		newR, err = loadReport(flag.Arg(1))
 		if err == nil {
-			run(oldR, newR, *threshold, *warn)
+			run(oldR, newR, *threshold, *qualityDrop, *warn, *blockQuality)
 			return
 		}
 	}
@@ -204,7 +254,7 @@ func main() {
 }
 
 // run prints the comparison and exits per the regression verdict.
-func run(oldR, newR *benchReport, threshold float64, warn bool) {
+func run(oldR, newR *benchReport, threshold, qualityDrop float64, warn, blockQuality bool) {
 	short := func(sha string) string {
 		if len(sha) > 12 {
 			return sha[:12]
@@ -219,12 +269,24 @@ func run(oldR, newR *benchReport, threshold float64, warn bool) {
 	if oldR.NumCPU != newR.NumCPU {
 		fmt.Println("note: CPU budgets differ between reports; absolute deltas are not like-for-like")
 	}
-	deltas, regressions, missing := diff(oldR, newR, threshold)
+	deltas, regressions, missing := diff(oldR, newR, threshold, qualityDrop)
 	if len(deltas) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: the reports share no scenarios")
 		os.Exit(2)
 	}
+	qualityRegressions := 0
+	for _, d := range deltas {
+		if d.qualityRegressed {
+			qualityRegressions++
+		}
+	}
 	regressions += diffCheckpoint(oldR.Checkpoint, newR.Checkpoint, threshold)
+	autoQuality, autoMissing := checkAutoThreshold(oldR.AutoThreshold, newR.AutoThreshold)
+	qualityRegressions += autoQuality
+	regressions += autoQuality
+	if autoMissing {
+		missing = append(missing, "auto_threshold")
+	}
 	for _, d := range deltas {
 		dup := ""
 		if d.dup > 0 {
@@ -259,6 +321,10 @@ func run(oldR, newR *benchReport, threshold float64, warn bool) {
 		fmt.Printf("%d baseline scenarios missing from the candidate\n", len(missing))
 	}
 	if warn {
+		if blockQuality && qualityRegressions > 0 {
+			fmt.Printf("%d quality regressions are blocking (-block-quality): exiting 1\n", qualityRegressions)
+			os.Exit(1)
+		}
 		fmt.Println("warn-only mode: exiting 0")
 		return
 	}

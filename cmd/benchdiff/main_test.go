@@ -45,7 +45,7 @@ func TestDiffFlagsRegressions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deltas, regressions, missing := diff(oldR, newR, 0.10)
+	deltas, regressions, missing := diff(oldR, newR, 0.10, 0.05)
 	if len(deltas) != 2 {
 		t.Fatalf("compared %d scenarios, want 2 (shared only): %+v", len(deltas), deltas)
 	}
@@ -84,7 +84,7 @@ func TestDiffThresholdBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, regressions, _ := diff(oldR, newR, 0.10)
+	_, regressions, _ := diff(oldR, newR, 0.10, 0.05)
 	if regressions != 1 {
 		t.Fatalf("found %d regressions, want 1 (only the 10.01%% drop)", regressions)
 	}
@@ -108,6 +108,77 @@ func TestDiffCheckpoint(t *testing.T) {
 	slow := &ckptRow{SnapshotBytes: 1 << 20, EncodeNsPerOp: 1.2e6, DecodeNsPerOp: 2.5e6}
 	if n := diffCheckpoint(base, slow, 0.10); n != 2 {
 		t.Fatalf("both slowed legs should regress, got %d", n)
+	}
+}
+
+// TestDiffQualityRegression: an AUC or precision@K fall beyond the
+// quality-drop gate regresses even when throughput improved, is marked
+// as a QUALITY regression (the subset -block-quality keeps blocking
+// under -warn), and the gate width is the flag's to set.
+func TestDiffQualityRegression(t *testing.T) {
+	oldQ := `{
+  "git_sha": "aaaa", "num_cpu": 4,
+  "benchmarks": [
+    {"name": "d=20/shards=1", "points_per_sec": 20000, "auc": 0.95, "precision_at_k": 0.90},
+    {"name": "d=50/shards=1", "points_per_sec": 10000, "auc": 0.90, "precision_at_k": 0.80}
+  ]
+}`
+	newQ := `{
+  "git_sha": "bbbb", "num_cpu": 4,
+  "benchmarks": [
+    {"name": "d=20/shards=1", "points_per_sec": 30000, "auc": 0.80, "precision_at_k": 0.90},
+    {"name": "d=50/shards=1", "points_per_sec": 11000, "auc": 0.88, "precision_at_k": 0.78}
+  ]
+}`
+	oldR, err := loadReport(writeReport(t, "old.json", oldQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newR, err := loadReport(writeReport(t, "new.json", newQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, regressions, _ := diff(oldR, newR, 0.10, 0.05)
+	if regressions != 1 {
+		t.Fatalf("found %d regressions, want 1 (the AUC fall)", regressions)
+	}
+	if !deltas[0].regressed || !deltas[0].qualityRegressed {
+		t.Fatalf("AUC fall with faster throughput not marked as quality regression: %+v", deltas[0])
+	}
+	if deltas[1].regressed {
+		t.Fatalf("0.02 wobble flagged at quality-drop 0.05: %+v", deltas[1])
+	}
+	// A wider gate admits the fall.
+	_, regressions, _ = diff(oldR, newR, 0.10, 0.20)
+	if regressions != 0 {
+		t.Fatalf("quality-drop 0.20 still flagged %d regressions", regressions)
+	}
+}
+
+// TestCheckAutoThreshold: out-of-band auto legs are quality
+// regressions, the control leg (risk 0) is never gated, a candidate
+// without the section fails as missing only when the baseline had one.
+func TestCheckAutoThreshold(t *testing.T) {
+	good := &autoSection{Legs: []autoLeg{
+		{Name: "auto/q=1e-3", Risk: 1e-3, InBandSteady: true, InBandPostDrift: true},
+		{Name: "fixed", Risk: 0},
+	}}
+	if n, miss := checkAutoThreshold(nil, good); n != 0 || miss {
+		t.Fatalf("in-band legs gated: %d regressions, missing=%v", n, miss)
+	}
+	bad := &autoSection{Legs: []autoLeg{
+		{Name: "auto/q=1e-3", Risk: 1e-3, InBandSteady: true, InBandPostDrift: false},
+		{Name: "auto/q=1e-4", Risk: 1e-4, InBandSteady: false, InBandPostDrift: false},
+		{Name: "fixed", Risk: 0},
+	}}
+	if n, _ := checkAutoThreshold(good, bad); n != 2 {
+		t.Fatalf("out-of-band legs: %d regressions, want 2", n)
+	}
+	if n, miss := checkAutoThreshold(good, nil); n != 0 || !miss {
+		t.Fatalf("vanished section: %d regressions, missing=%v, want missing", n, miss)
+	}
+	if n, miss := checkAutoThreshold(nil, nil); n != 0 || miss {
+		t.Fatalf("pre-auto baseline and candidate: %d regressions, missing=%v", n, miss)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/exec"
 	"runtime"
@@ -133,19 +134,20 @@ type supervisedResult struct {
 
 // report is the full JSON artifact.
 type report struct {
-	Generated  string             `json:"generated"`
-	GitSHA     string             `json:"git_sha"`
-	GoVersion  string             `json:"go_version"`
-	NumCPU     int                `json:"num_cpu"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Benchmarks []result           `json:"benchmarks"`
-	Ratios     map[string]float64 `json:"shard8_over_shard1"`
-	Coalesce   []coalesceResult   `json:"coalesce"`
-	SweepPause *sweepPauseResult  `json:"sweep_pause"`
-	Drift      *driftResult       `json:"drift_memory"`
-	Evolution  *evolutionResult   `json:"sst_evolution"`
-	Supervised *supervisedResult  `json:"supervised"`
-	Checkpoint *checkpointResult  `json:"checkpoint"`
+	Generated     string               `json:"generated"`
+	GitSHA        string               `json:"git_sha"`
+	GoVersion     string               `json:"go_version"`
+	NumCPU        int                  `json:"num_cpu"`
+	GOMAXPROCS    int                  `json:"gomaxprocs"`
+	Benchmarks    []result             `json:"benchmarks"`
+	Ratios        map[string]float64   `json:"shard8_over_shard1"`
+	Coalesce      []coalesceResult     `json:"coalesce"`
+	SweepPause    *sweepPauseResult    `json:"sweep_pause"`
+	Drift         *driftResult         `json:"drift_memory"`
+	Evolution     *evolutionResult     `json:"sst_evolution"`
+	Supervised    *supervisedResult    `json:"supervised"`
+	Checkpoint    *checkpointResult    `json:"checkpoint"`
+	AutoThreshold *autoThresholdResult `json:"auto_threshold"`
 }
 
 // run measures throughput for one scenario: a (dims, shards) grid point
@@ -854,6 +856,129 @@ func runCheckpoint(dur time.Duration, batch int) (*checkpointResult, error) {
 	}, nil
 }
 
+// autoThresholdLeg is one detector configuration driven through the
+// calibration stream: an auto-thresholded leg targeting per-point risk
+// q, or the fixed-threshold control whose flagged rate simply follows
+// the distribution.
+type autoThresholdLeg struct {
+	Name string `json:"name"`
+	// Risk is the requested per-point flag probability; 0 marks the
+	// fixed-threshold control leg.
+	Risk          float64 `json:"risk"`
+	WarmEpochs    int     `json:"warm_epochs"`
+	MeasureEpochs int     `json:"measure_epochs"`
+	// FlaggedSteady and FlaggedPostDrift are the pooled flagged rates
+	// over the two measure windows, each taken after the controller's
+	// ~40-epoch convergence transient (warm_epochs covers it).
+	FlaggedSteady    float64 `json:"flagged_rate_steady"`
+	FlaggedPostDrift float64 `json:"flagged_rate_post_drift"`
+	// InBandSteady / InBandPostDrift report rate ∈ [q/3, 3q] — the
+	// calibration contract bench-compare gates on. Always false on the
+	// control leg (no q to be in band of).
+	InBandSteady    bool    `json:"in_band_steady"`
+	InBandPostDrift bool    `json:"in_band_post_drift"`
+	Calibrations    uint64  `json:"calibrations"`
+	EffTrials       float64 `json:"eff_trials"`
+}
+
+// autoThresholdResult reports the EVT auto-thresholding scenario: a
+// pure-inlier uniform stream whose support abruptly collapses to half
+// the box mid-run. The auto legs must hold their requested flagged rate
+// through the shift once re-calibrated; the fixed-threshold control
+// shows why that is not free — its rate moves with the distribution.
+type autoThresholdResult struct {
+	Dims       int                `json:"dims"`
+	Shards     int                `json:"shards"`
+	EpochTicks uint64             `json:"epoch_ticks"`
+	Legs       []autoThresholdLeg `json:"legs"`
+}
+
+// runAutoThreshold drives each leg through warm/measure windows on both
+// sides of the drift. Measure windows scale with 1/q so even the
+// q=1e-4 leg pools enough expected flags (~50) for a stable rate.
+func runAutoThreshold() (*autoThresholdResult, error) {
+	const (
+		d          = 20
+		epochTicks = 512
+		warmEpochs = 60
+	)
+	mk := func(risk float64) stream.Config {
+		cfg := stream.DefaultConfig(d)
+		cfg.MaxSubspaceDim = 2
+		cfg.Shards = 1
+		cfg.Lambda = 0.01
+		cfg.Warmup = 50
+		cfg.EpochTicks = epochTicks
+		if risk > 0 {
+			cfg.AutoThreshold = stream.AutoThreshold{Risk: risk}
+		}
+		return cfg
+	}
+	leg := func(name string, risk float64, measureEpochs int) (autoThresholdLeg, error) {
+		det, err := stream.New(mk(risk))
+		if err != nil {
+			return autoThresholdLeg{}, err
+		}
+		defer det.Close()
+		rng := rand.New(rand.NewSource(71))
+		flat := make([]float64, epochTicks*d)
+		out := make([]bool, epochTicks)
+		feed := func(epochs int, scale float64) float64 {
+			flags := 0
+			for e := 0; e < epochs; e++ {
+				for i := range flat {
+					flat[i] = rng.Float64() * scale
+				}
+				det.ProcessBatch(flat, out)
+				for _, f := range out {
+					if f {
+						flags++
+					}
+				}
+			}
+			return float64(flags) / float64(epochs*epochTicks)
+		}
+		feed(warmEpochs, 1)
+		steady := feed(measureEpochs, 1)
+		// The support collapses to [0, 0.5)^d; re-learn, then measure.
+		feed(warmEpochs, 0.5)
+		drifted := feed(measureEpochs, 0.5)
+		s := det.Stats()
+		inBand := func(rate float64) bool {
+			return risk > 0 && rate >= risk/3 && rate <= risk*3
+		}
+		return autoThresholdLeg{
+			Name:             name,
+			Risk:             risk,
+			WarmEpochs:       warmEpochs,
+			MeasureEpochs:    measureEpochs,
+			FlaggedSteady:    steady,
+			FlaggedPostDrift: drifted,
+			InBandSteady:     inBand(steady),
+			InBandPostDrift:  inBand(drifted),
+			Calibrations:     s.Calibrations,
+			EffTrials:        s.AutoEffTrials,
+		}, nil
+	}
+	res := &autoThresholdResult{Dims: d, Shards: 1, EpochTicks: epochTicks}
+	for _, l := range []struct {
+		name          string
+		risk          float64
+		measureEpochs int
+	}{
+		{"auto/q=1e-3", 1e-3, 200},
+		{"auto/q=1e-4", 1e-4, 1000},
+		{"fixed", 0, 200},
+	} {
+		r, err := leg(l.name, l.risk, l.measureEpochs)
+		if err != nil {
+			return nil, err
+		}
+		res.Legs = append(res.Legs, r)
+	}
+	return res, nil
+}
+
 // gitSHA resolves the current commit, preferring the flag value; falls
 // back to asking git, then to "unknown" so the artifact never lies by
 // omission.
@@ -990,6 +1115,15 @@ func main() {
 	rep.Checkpoint = ck
 	fmt.Printf("checkpoint d=%d/shards=%d: %d bytes (%d cells), encode %.0fns decode %.0fns\n",
 		ck.Dims, ck.Shards, ck.SnapshotBytes, ck.ProjectedCells, ck.EncodeNsPerOp, ck.DecodeNsPerOp)
+	at, err := runAutoThreshold()
+	if err != nil {
+		fail(err)
+	}
+	rep.AutoThreshold = at
+	for _, l := range at.Legs {
+		fmt.Printf("auto-threshold %-12s steady %.2e post-drift %.2e (band [q/3,3q]: %v/%v, %d calibrations)\n",
+			l.Name, l.FlaggedSteady, l.FlaggedPostDrift, l.InBandSteady, l.InBandPostDrift, l.Calibrations)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDecayTableMatchesDecayBitwise pins the decay fallback contract:
+// the memo table, the past-the-table fallback and the Decay function
+// are all the same primitive, so any gap evaluated through any of
+// them yields the identical float64 — including dt = 0, the table
+// boundary at 4096, and gaps far beyond it.
+func TestDecayTableMatchesDecayBitwise(t *testing.T) {
+	for _, lambda := range []float64{0.002, 0.01, 0.07, 1.3} {
+		tab := NewDecayTable(lambda)
+		for dt := uint64(0); dt < 2*decayTableSize; dt++ {
+			got := tab.At(dt)
+			want := Decay(lambda, dt)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("lambda=%g dt=%d: table %x, Decay %x",
+					lambda, dt, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+		for _, dt := range []uint64{decayTableSize, decayTableSize + 1, 1 << 20, 1 << 40} {
+			if got, want := tab.At(dt), Decay(lambda, dt); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("lambda=%g dt=%d: fallback %x, Decay %x",
+					lambda, dt, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestTouchRunStraddlesTableBoundary is the decay-drift oracle: a
+// TouchRun whose inter-touch gaps straddle the 4096-tick decay-table
+// boundary — some gaps served from the table, some from the
+// transcendental fallback — must stay bit-identical to iterated Touch
+// calls, summary fields and per-touch snapshots alike. A divergence
+// here would mean the coalesced batch path and the pointwise path
+// disagree exactly when a cell goes untouched for a long stretch.
+func TestTouchRunStraddlesTableBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tab := NewDecayTable(0.002)
+	gaps := []uint64{
+		1, 3, decayTableSize - 1, decayTableSize, decayTableSize + 1,
+		decayTableSize * 3, 2, decayTableSize + 4097, 1,
+	}
+	for trial := 0; trial < 20; trial++ {
+		ticks := make([]uint64, 0, len(gaps))
+		mags := make([]float64, 0, len(gaps))
+		tick := uint64(20000 + rng.Intn(5000))
+		for _, g := range gaps {
+			// Shuffle in some randomized gaps around the boundary too.
+			tick += g + uint64(rng.Intn(3))
+			ticks = append(ticks, tick)
+			mags = append(mags, rng.Float64()*10-5)
+		}
+		run := PCS{Dc: rng.Float64() * 50, S: rng.Float64() * 20, Q: rng.Float64() * 30, Last: ticks[0] - 1 - uint64(rng.Intn(int(decayTableSize*2)))}
+		iter := run
+		ss := make([]float64, len(ticks))
+		dcs := make([]float64, len(ticks))
+		run.TouchRun(tab, ticks, mags, ss, dcs)
+		for j := range ticks {
+			iter.Touch(tab, ticks[j], mags[j])
+			if math.Float64bits(iter.S) != math.Float64bits(ss[j]) || math.Float64bits(iter.Dc) != math.Float64bits(dcs[j]) {
+				t.Fatalf("trial %d touch %d: TouchRun snapshot (S=%x Dc=%x) diverges from iterated Touch (S=%x Dc=%x)",
+					trial, j, math.Float64bits(ss[j]), math.Float64bits(dcs[j]), math.Float64bits(iter.S), math.Float64bits(iter.Dc))
+			}
+		}
+		if run != iter {
+			t.Fatalf("trial %d: final summaries diverge: run=%+v iter=%+v", trial, run, iter)
+		}
+	}
+}

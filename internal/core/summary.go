@@ -2,16 +2,25 @@ package core
 
 import "math"
 
+// decayWeight is the one primitive every fading weight in the engine
+// derives from: 2^(-lambda*dt) evaluated as math.Exp2 over the exact
+// float64 product. Decay, the DecayTable entries and the DecayTable's
+// past-the-table fallback all call it, so a gap computed from table
+// entries and the same gap computed by the fallback can never diverge
+// by more than Exp2's own rounding — there is no second formula to
+// drift against. (Exp2(-0) is exactly 1, so dt == 0 needs no special
+// case.)
+func decayWeight(lambda float64, dt uint64) float64 {
+	return math.Exp2(-lambda * float64(dt))
+}
+
 // Decay returns the exponential fading weight 2^(-lambda*dt) applied to
 // a summary that was last touched dt ticks ago. lambda is the fading
 // factor λ of the paper; larger λ forgets the past faster. The
 // effective window size (total decayed weight of an infinite uniform
 // stream) is 1/(1-2^-λ).
 func Decay(lambda float64, dt uint64) float64 {
-	if dt == 0 {
-		return 1
-	}
-	return math.Exp2(-lambda * float64(dt))
+	return decayWeight(lambda, dt)
 }
 
 // decayTableSize covers the gaps between touches of recurring
@@ -36,7 +45,7 @@ type DecayTable struct {
 func NewDecayTable(lambda float64) *DecayTable {
 	t := &DecayTable{lambda: lambda}
 	for i := range t.pow {
-		t.pow[i] = math.Exp2(-lambda * float64(i))
+		t.pow[i] = decayWeight(lambda, uint64(i))
 	}
 	return t
 }
@@ -44,12 +53,15 @@ func NewDecayTable(lambda float64) *DecayTable {
 // Lambda returns the fading factor the table was built for.
 func (t *DecayTable) Lambda() float64 { return t.lambda }
 
-// At returns the fading weight for a gap of dt ticks.
+// At returns the fading weight for a gap of dt ticks: a table load
+// below decayTableSize, the shared decayWeight primitive past it —
+// table entries are built from the same primitive, so the two regimes
+// agree bitwise on any gap either could serve.
 func (t *DecayTable) At(dt uint64) float64 {
 	if dt < decayTableSize {
 		return t.pow[dt]
 	}
-	return math.Exp2(-t.lambda * float64(dt))
+	return decayWeight(t.lambda, dt)
 }
 
 // Series returns the closed-form geometric series 1 + f + f² + … +

@@ -1,0 +1,385 @@
+// Package evt implements the Peaks-Over-Threshold calibration behind
+// Config.AutoThreshold: a streaming-EVT (Siffer-style SPOT) estimator
+// of extreme quantiles, adapted to the *lower* tail because every SPOT
+// verdict measure (RD, IRSD, IkRD) flags when it is LOW.
+//
+// The classic recipe — anchor a threshold t at a high empirical
+// quantile of an initial window, fit a generalized Pareto distribution
+// to the excesses over t, and invert the tail estimate for a
+// user-chosen risk q — is mirrored downward: the anchor sits at a low
+// quantile (Level) of the measure census, the excesses are the
+// deficits t − x of the samples below it, and the extreme quantile
+//
+//	z_q = t − (σ/γ)·((q·n/Nt)^(−γ) − 1)        (γ→0: t + σ·ln(q·n/Nt))
+//
+// satisfies P(X < z_q) ≈ q under the fitted tail. The detector then
+// flags measure values strictly below z_q, so the flagged rate tracks
+// q instead of a hand-tuned constant.
+//
+// Unlike the window-then-stream shape of the exemplars, the detector
+// refits from scratch at every epoch sweep: a sweep visits every live
+// cell, so each refit sees a complete census of the current measure
+// distribution — drift tracking falls out for free and no incremental
+// peak bookkeeping is needed. Everything here is deterministic pure
+// arithmetic over a sorted sample slice (Grimshaw's root search uses a
+// fixed grid plus bisection), which is what lets calibrated verdicts
+// stay bit-identical across shard counts: shards contribute samples in
+// layout-dependent order, but the caller sorts before Refit.
+package evt
+
+import (
+	"math"
+	"sort"
+)
+
+const (
+	// MinSamples is the smallest census a refit will fit a tail to;
+	// below it the previous calibration (if any) is retained.
+	MinSamples = 32
+	// MinPeaks is the minimum number of excesses under the anchor; the
+	// anchor is raised to the next distinct sample value until the
+	// tail set reaches it.
+	MinPeaks = 8
+	// DefaultLevel is the anchor quantile used when the caller passes
+	// none: the POT threshold t sits at the 10% point of the census,
+	// leaving the lowest decile as the tail the GPD models.
+	DefaultLevel = 0.1
+)
+
+// State is a Calibrator's complete serializable state: the published
+// threshold plus the last fit's parameters, enough to re-derive z for
+// a moved risk without the samples. All floats round-trip bit-exactly
+// through the snapshot codec, which is what makes restored detectors
+// continue bit-identically.
+type State struct {
+	// Calibrated reports whether Z is a fitted threshold (false means
+	// the detector should keep using its fixed configured threshold).
+	Calibrated bool
+	// Z is the calibrated threshold: values strictly below it flag.
+	Z float64
+	// T is the POT anchor of the last fit; Gamma and Sigma the fitted
+	// GPD shape and scale of the deficits below it.
+	T, Gamma, Sigma float64
+	// N is the census size of the last fit, Nt its tail (peak) count.
+	N, Nt uint64
+}
+
+// Calibrator maintains the POT calibration of one measure
+// distribution (the detector keeps one per (measure, arity) pair).
+// Not safe for concurrent use; the detector refits on the dispatcher
+// goroutine with shard workers idle.
+type Calibrator struct {
+	level float64
+	st    State
+	peaks []float64 // refit scratch, reused
+}
+
+// NewCalibrator returns an uncalibrated calibrator anchoring at the
+// given census quantile; level ≤ 0 selects DefaultLevel.
+func NewCalibrator(level float64) *Calibrator {
+	if level <= 0 {
+		level = DefaultLevel
+	}
+	return &Calibrator{level: level}
+}
+
+// Calibrated reports whether Threshold carries a fitted value.
+func (c *Calibrator) Calibrated() bool { return c.st.Calibrated }
+
+// Threshold returns the current calibrated threshold z_q (only
+// meaningful when Calibrated).
+func (c *Calibrator) Threshold() float64 { return c.st.Z }
+
+// State returns the calibrator's serializable state.
+func (c *Calibrator) State() State { return c.st }
+
+// SetState overwrites the calibrator's state (snapshot restore).
+func (c *Calibrator) SetState(s State) { c.st = s }
+
+// Refit recalibrates the threshold from a complete census of the
+// measure distribution, sorted ascending, for risk q (the target
+// P(X < z)). It reports whether a fit ran: censuses under MinSamples
+// keep the previous fit — re-deriving z for the moved q when one
+// exists — so a thin sweep degrades to a stale threshold, never to a
+// garbage one.
+func (c *Calibrator) Refit(sorted []float64, q float64) bool {
+	n := len(sorted)
+	if n < MinSamples {
+		if c.st.Calibrated {
+			c.requantile(q)
+		}
+		return false
+	}
+	// Anchor at the census's level-quantile, raised to the next
+	// distinct value until at least MinPeaks samples sit strictly
+	// below it (ties with t carry no tail information).
+	pos := int(c.level * float64(n))
+	if pos < MinPeaks {
+		pos = MinPeaks
+	}
+	if pos > n-1 {
+		pos = n - 1
+	}
+	t := sorted[pos]
+	below := sort.SearchFloat64s(sorted, t)
+	for below < MinPeaks {
+		nb := sort.Search(n, func(i int) bool { return sorted[i] > t })
+		if nb >= n {
+			break
+		}
+		below = nb
+		t = sorted[nb]
+	}
+	if below < MinPeaks {
+		// Degenerate census — essentially a point mass, no lower tail
+		// to model. The empirical quantile is the honest answer, and
+		// because verdict comparisons are strict, z landing on the
+		// mass flags nothing.
+		c.st = State{Calibrated: true, Z: empirical(sorted, q), T: t, N: uint64(n)}
+		return true
+	}
+	peaks := c.peaks[:0]
+	for i := 0; i < below; i++ {
+		peaks = append(peaks, t-sorted[i])
+	}
+	c.peaks = peaks
+	gamma, sigma := FitGPD(peaks)
+	c.st = State{Calibrated: true, T: t, Gamma: gamma, Sigma: sigma, N: uint64(n), Nt: uint64(below)}
+	if sigma <= 0 || q*float64(n) >= float64(below) {
+		// The target quantile sits inside the bulk the anchor already
+		// covers (or the fit degenerated): read it off the census.
+		c.st.Z = empirical(sorted, q)
+	} else {
+		c.st.Z = tailQuantile(t, gamma, sigma, float64(n), float64(below), q)
+	}
+	if c.st.Z < 0 {
+		c.st.Z = 0
+	}
+	return true
+}
+
+// requantile re-derives z from the retained fit for a moved risk —
+// the no-new-samples path. Risks that fall inside the bulk keep the
+// previous z (the census needed for an empirical read is gone).
+func (c *Calibrator) requantile(q float64) {
+	s := &c.st
+	if s.Nt == 0 || s.Sigma <= 0 || q*float64(s.N) >= float64(s.Nt) {
+		return
+	}
+	if z := tailQuantile(s.T, s.Gamma, s.Sigma, float64(s.N), float64(s.Nt), q); z >= 0 {
+		s.Z = z
+	} else {
+		s.Z = 0
+	}
+}
+
+// empirical is the plain lower quantile of a sorted census:
+// P(X < sorted[i]) ≈ i/n, so index floor(q·n).
+func empirical(sorted []float64, q float64) float64 {
+	i := int(q * float64(len(sorted)))
+	if i > len(sorted)-1 {
+		i = len(sorted) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}
+
+// tailQuantile inverts the POT tail estimate for the lower tail:
+// with deficits Y = t − X ~ GPD(γ, σ) and Nt of n samples in the
+// tail, P(X < t − y) ≈ (Nt/n)·(1 + γy/σ)^(−1/γ); solving for
+// P = q gives the returned z. r = q·n/Nt < 1 on every call (the
+// caller routes bulk risks to the empirical census).
+//
+// A short-tail fit (γ < 0) has a finite support endpoint at t + σ/γ,
+// so below the fit's empirical resolution (r < 1/Nt, i.e. deeper than
+// one peak's worth of tail mass) the inverted quantile saturates just
+// past the observed sample minimum and stops responding to q — which
+// would freeze the detector's rate controller at whatever the census
+// endpoint happens to fire. The true distribution keeps producing
+// fresh values below any finite window's minimum, so past r = 1/Nt
+// the estimate switches to an exponential extension through the GPD's
+// value there, with the fit's mean-matched slope σ/(1−γ): z keeps
+// strictly decreasing in q and the controller keeps its authority.
+func tailQuantile(t, gamma, sigma, n, nt, q float64) float64 {
+	r := q * n / nt
+	if gamma < 0 {
+		if r0 := 1 / nt; r < r0 {
+			z0 := t - sigma/gamma*(math.Pow(r0, -gamma)-1)
+			return z0 + sigma/(1-gamma)*math.Log(r/r0)
+		}
+	}
+	if gamma == 0 {
+		return t + sigma*math.Log(r)
+	}
+	return t - sigma/gamma*(math.Pow(r, -gamma)-1)
+}
+
+// FitGPD fits a generalized Pareto distribution to the excesses y
+// (all ≥ 0, at least one > 0) and returns the maximum-likelihood
+// (shape γ, scale σ) among the candidates considered: Grimshaw's
+// estimator — the roots of u(x)·v(x) = 1 located by a fixed
+// deterministic grid-plus-bisection search over both admissible
+// branches, each root yielding γ = v(x)−1, σ = γ/x — plus the
+// method-of-moments estimate and the exponential (γ=0, σ=mean)
+// baseline. Deterministic: identical input yields identical output.
+func FitGPD(y []float64) (gamma, sigma float64) {
+	var ymin, ymax, sum float64
+	ymin = math.Inf(1)
+	for _, v := range y {
+		if v < ymin {
+			ymin = v
+		}
+		if v > ymax {
+			ymax = v
+		}
+		sum += v
+	}
+	if ymax <= 0 || len(y) == 0 {
+		return 0, 0
+	}
+	mean := sum / float64(len(y))
+
+	bestG, bestS := 0.0, mean
+	bestLL := gpdLogLik(y, 0, mean)
+	consider := func(g, s float64) {
+		if g < 0 && s <= -g*ymax {
+			// Short-tail candidate whose support endpoint −σ/γ falls at
+			// or inside the sample maximum — the true endpoint must
+			// cover every observed excess, so lift σ until it just
+			// does rather than discarding the candidate. (Uniform-ish
+			// tails put the moment estimate exactly here.)
+			s = -g * ymax * (1 + 1e-9)
+		}
+		if ll := gpdLogLik(y, g, s); ll > bestLL {
+			bestLL, bestG, bestS = ll, g, s
+		}
+	}
+	if mg, ms, ok := momentEstimate(y, mean); ok {
+		consider(mg, ms)
+	}
+	root := func(x float64) {
+		_, v := grimshawUV(y, x)
+		g := v - 1
+		if g != 0 {
+			consider(g, g/x)
+		}
+	}
+	// Left branch: x ∈ (−1/ymax, 0). Right branch: x ∈ (0, c] with
+	// Grimshaw's bound c = 2(mean−ymin)/ymin². The trivial root at
+	// x = 0 is excluded by the interval margins; it is the γ=0
+	// baseline already considered.
+	a := -1 / ymax
+	searchRoots(y, a*(1-1e-6), a*1e-6, root)
+	if ymin > 0 && mean > ymin {
+		cb := 2 * (mean - ymin) / (ymin * ymin)
+		searchRoots(y, cb*1e-9, cb, root)
+	}
+	return bestG, bestS
+}
+
+// searchRoots scans [lo, hi] for sign changes of w(x) = u(x)·v(x) − 1
+// on a fixed 32-cell grid and bisects each bracketed root to float
+// convergence, invoking found on every root. Fixed iteration counts
+// keep the search deterministic.
+func searchRoots(y []float64, lo, hi float64, found func(float64)) {
+	const cells = 32
+	if !(hi > lo) {
+		return
+	}
+	w := func(x float64) float64 {
+		u, v := grimshawUV(y, x)
+		return u*v - 1
+	}
+	step := (hi - lo) / cells
+	x0, w0 := lo, w(lo)
+	for i := 1; i <= cells; i++ {
+		x1 := lo + float64(i)*step
+		if i == cells {
+			x1 = hi
+		}
+		w1 := w(x1)
+		if w0 == 0 {
+			found(x0)
+		} else if !math.IsNaN(w0) && !math.IsNaN(w1) && w0*w1 < 0 {
+			bl, bh, wl := x0, x1, w0
+			for it := 0; it < 60; it++ {
+				mid := (bl + bh) / 2
+				wm := w(mid)
+				if wm == 0 {
+					bl, bh = mid, mid
+					break
+				}
+				if wl*wm < 0 {
+					bh = mid
+				} else {
+					bl, wl = mid, wm
+				}
+			}
+			found((bl + bh) / 2)
+		}
+		x0, w0 = x1, w1
+	}
+}
+
+// grimshawUV evaluates Grimshaw's u(x) = mean(1/(1+x·yᵢ)) and
+// v(x) = 1 + mean(ln(1+x·yᵢ)); NaN when x leaves the admissible
+// region (some 1+x·yᵢ ≤ 0).
+func grimshawUV(y []float64, x float64) (u, v float64) {
+	var su, sv float64
+	for _, yi := range y {
+		a := 1 + x*yi
+		if a <= 0 {
+			return math.NaN(), math.NaN()
+		}
+		su += 1 / a
+		sv += math.Log(a)
+	}
+	n := float64(len(y))
+	return su / n, 1 + sv/n
+}
+
+// momentEstimate is the method-of-moments GPD estimate:
+// γ = ½(1 − m²/s²), σ = ½m(1 + m²/s²). Valid only with positive
+// sample variance.
+func momentEstimate(y []float64, mean float64) (gamma, sigma float64, ok bool) {
+	var sq float64
+	for _, v := range y {
+		d := v - mean
+		sq += d * d
+	}
+	variance := sq / float64(len(y))
+	if variance <= 0 || mean <= 0 {
+		return 0, 0, false
+	}
+	r := mean * mean / variance
+	return 0.5 * (1 - r), 0.5 * mean * (1 + r), true
+}
+
+// gpdLogLik is the GPD log-likelihood of the excesses under (γ, σ);
+// −Inf outside the parameter support, so invalid candidates lose
+// every comparison.
+func gpdLogLik(y []float64, gamma, sigma float64) float64 {
+	if sigma <= 0 {
+		return math.Inf(-1)
+	}
+	n := float64(len(y))
+	ll := -n * math.Log(sigma)
+	if gamma == 0 {
+		var s float64
+		for _, v := range y {
+			s += v
+		}
+		return ll - s/sigma
+	}
+	inv := 1 + 1/gamma
+	for _, v := range y {
+		a := 1 + gamma*v/sigma
+		if a <= 0 {
+			return math.Inf(-1)
+		}
+		ll -= inv * math.Log(a)
+	}
+	return ll
+}

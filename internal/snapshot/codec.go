@@ -44,8 +44,12 @@ const Magic = "SPOTSNP1"
 //
 // History: 1 — initial format; 2 — the stream meta section gained the
 // scoring fields (Scoring flag, top-K capacity) and a top-K heap
-// section follows the evolver state when scoring retains one.
-const Version uint32 = 2
+// section follows the evolver state when scoring retains one; 3 — the
+// meta section gained the auto-threshold fields (enabled flag, Risk,
+// Level), the top-K section gained the ranking-key rebase anchor, and
+// an EVT calibrator section trails the stream when auto-thresholding
+// is on.
+const Version uint32 = 3
 
 // EndSection is the reserved section ID of the end-of-stream marker.
 const EndSection uint32 = 0xFFFFFFFF

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"spot/internal/core"
 	"spot/internal/sst"
@@ -52,6 +53,13 @@ var (
 	ErrScoringDisabled = errors.New("stream: scoring is not enabled")
 	// ErrClosed marks a call on a detector after Close.
 	ErrClosed = errors.New("stream: detector is closed")
+	// ErrNonFinite marks a point carrying a NaN or ±Inf coordinate.
+	// Out-of-range finite values clamp to edge cells (a caller with
+	// loose bounds still gets sane geometry), but a non-finite value
+	// fails both clamp comparisons and would land in an arbitrary
+	// cell, poisoning base-cell centroids and any EVT calibration —
+	// so ingestion rejects the batch before touching any state.
+	ErrNonFinite = errors.New("stream: non-finite coordinate")
 )
 
 // Config parameterizes a Detector.
@@ -182,6 +190,30 @@ type Config struct {
 	// exists to measure the coalescing win (the bench harness records
 	// both) and to debug with the simpler path.
 	NoCoalesce bool
+	// AutoThreshold, when enabled (Risk > 0), replaces the fixed
+	// RD/IRSD/IkRD verdict thresholds with EVT-calibrated ones: the
+	// detector samples the per-point measure distribution on a
+	// deterministic tick stride, fits a generalized Pareto lower tail
+	// per (measure, arity) pair at every epoch sweep (internal/evt),
+	// and publishes thresholds targeting the configured per-point
+	// risk. The fixed thresholds still apply until the first
+	// calibration lands, and RDPopulatedThreshold is subsumed
+	// (per-arity RD calibration is the arity-aware test). Requires
+	// EpochTicks. See Stats' Calibrations/AutoEffTrials for
+	// observability.
+	AutoThreshold AutoThreshold
+}
+
+// AutoThreshold configures EVT auto-thresholding (Config.AutoThreshold).
+type AutoThreshold struct {
+	// Risk is the target per-point false-alarm probability q: the
+	// steady-state fraction of inlying points the detector should
+	// flag. Must be in (0, 0.5); 0 disables auto-thresholding.
+	Risk float64
+	// Level is the POT anchor quantile of each measure census the
+	// generalized Pareto tail is fitted below; 0 selects
+	// evt.DefaultLevel (0.1). Must be below 0.5.
+	Level float64
 }
 
 // DefaultConfig returns a starting configuration for a d-dimensional
@@ -274,6 +306,10 @@ type Detector struct {
 	scoreScratch []float64
 	topk         *topK
 
+	// EVT auto-thresholding state (nil unless Config.AutoThreshold is
+	// enabled); owned by the dispatcher, refit at epoch sweeps.
+	auto *autoState
+
 	jobs      []chan job
 	done      chan struct{}
 	workersUp bool
@@ -300,6 +336,20 @@ func New(cfg Config) (*Detector, error) {
 	}
 	if cfg.EvictEpsilon < 0 {
 		return nil, fmt.Errorf("stream: EvictEpsilon must be non-negative, got %g", cfg.EvictEpsilon)
+	}
+	if at := cfg.AutoThreshold; at.Risk != 0 || at.Level != 0 {
+		if at.Risk == 0 {
+			return nil, fmt.Errorf("stream: AutoThreshold.Level is set but Risk is not (Risk enables auto-thresholding)")
+		}
+		if at.Risk <= 0 || at.Risk >= 0.5 {
+			return nil, fmt.Errorf("stream: AutoThreshold.Risk must be in (0, 0.5), got %g", at.Risk)
+		}
+		if at.Level < 0 || at.Level >= 0.5 {
+			return nil, fmt.Errorf("stream: AutoThreshold.Level must be in [0, 0.5), got %g", at.Level)
+		}
+		if cfg.EpochTicks == 0 {
+			return nil, fmt.Errorf("stream: AutoThreshold requires EpochTicks > 0 (calibration runs at epoch sweeps)")
+		}
 	}
 	if cfg.EpochTicks == 0 {
 		if cfg.Evolver != nil {
@@ -360,6 +410,9 @@ func New(cfg Config) (*Detector, error) {
 			d.topk = newTopK(cfg.TopK, cfg.Lambda)
 		}
 	}
+	if cfg.AutoThreshold.Risk > 0 {
+		d.auto = newAutoState(cfg.AutoThreshold, cfg.EpochTicks)
+	}
 	// Round-robin partition of subspace IDs. The template enumerates
 	// by increasing arity, so round-robin also balances the arity mix
 	// (and therefore per-point work) across shards.
@@ -391,7 +444,32 @@ func (d *Detector) Tick() uint64 { return d.tick }
 // Config.EpochTicks points. The point is discretized exactly once —
 // the width-1 case of the batch discretization plane — and the same
 // interval row feeds the base-cell table and every shard.
+//
+// Input contract: out-of-range finite coordinates clamp to edge
+// cells; a NaN or ±Inf coordinate panics with ErrNonFinite before any
+// state is touched (ProcessErr returns it as an error instead).
 func (d *Detector) Process(point []float64) bool {
+	out, err := d.ProcessErr(point)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ProcessErr is Process with validation instead of panics: a closed
+// detector or a point carrying a non-finite coordinate returns a
+// typed error (ErrClosed, ErrNonFinite) before any state is touched.
+func (d *Detector) ProcessErr(point []float64) (bool, error) {
+	if d.closed {
+		return false, ErrClosed
+	}
+	if err := checkFinite(point, d.cfg.Dims); err != nil {
+		return false, err
+	}
+	return d.process(point), nil
+}
+
+func (d *Detector) process(point []float64) bool {
 	d.tick++
 	t := d.tick
 	d.grid.Intervals(point, d.bscratch)
@@ -408,8 +486,27 @@ func (d *Detector) Process(point []float64) bool {
 	if d.cfg.Scoring {
 		d.mergeScores(1, t-1, 0, d.scoreScratch[:1])
 	}
+	if d.auto != nil {
+		var f uint64
+		if out {
+			f = 1
+		}
+		d.auto.countFlags(1, f)
+	}
 	d.maybeSweep()
 	return out
+}
+
+// checkFinite rejects NaN and ±Inf coordinates; v-v is 0 for every
+// finite v and NaN for the three non-finite values, so the scan is
+// one subtract-and-compare per value.
+func checkFinite(flat []float64, dims int) error {
+	for i, v := range flat {
+		if v-v != 0 {
+			return fmt.Errorf("%w: value %g at point %d dim %d", ErrNonFinite, v, i/dims, i%dims)
+		}
+	}
+	return nil
 }
 
 // ProcessBatch ingests a flat row-major batch (len(flat) = n*Dims) and
@@ -472,6 +569,9 @@ func (d *Detector) validateBatch(flat []float64, out []bool) (int, error) {
 	}
 	if len(out) < n {
 		return 0, fmt.Errorf("%w: %d slots for %d points", ErrVerdictBuffer, len(out), n)
+	}
+	if err := checkFinite(flat, d.cfg.Dims); err != nil {
+		return 0, err
 	}
 	return n, nil
 }
@@ -555,6 +655,13 @@ func (d *Detector) runBatch(flat []float64, n int, out []bool, scores []float64,
 	}
 	for i := 0; i < n; i++ {
 		out[i] = merged[i>>6]&(1<<(uint(i)&63)) != 0
+	}
+	if d.auto != nil {
+		var flags uint64
+		for _, w := range merged {
+			flags += uint64(bits.OnesCount64(w))
+		}
+		d.auto.countFlags(uint64(n), flags)
 	}
 	if d.cfg.Scoring {
 		d.mergeScores(n, t0, base, scores)

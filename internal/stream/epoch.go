@@ -157,6 +157,15 @@ func (d *Detector) epochSweep() {
 	d.counters.sweeps++
 	d.counters.sweepNanos += uint64(time.Since(start).Nanoseconds())
 
+	// EVT auto-thresholding: merge the epoch's per-point measure
+	// samples across shards and refit the per-(measure, arity)
+	// calibrators. Thresholds are published below via
+	// refreshThresholds, after evolution, so promoted subspaces get
+	// calibrated thresholds immediately.
+	if d.auto != nil {
+		d.autoRefit()
+	}
+
 	if collect {
 		// Expire labeled examples past their TTL before the evolver
 		// sees them; the set is kept in arrival (tick) order, so the
@@ -180,13 +189,13 @@ func (d *Detector) epochSweep() {
 		}
 		d.applyEvolution(d.safeEvolve(&stats))
 	}
-	// Publish the new averages as per-subspace precomputed floors so
-	// the hot path tests the arity-aware RD with one compare. After
-	// evolution, so subspaces promoted this sweep get their floor
-	// immediately instead of sitting floorless for a full epoch.
-	for _, sh := range d.shards {
-		sh.refreshPopFloors()
-	}
+	// Publish the new thresholds — calibrated EVT thresholds in auto
+	// mode, the arity-aware populated-RD floors otherwise — as
+	// per-subspace precomputed fields so the hot path tests each
+	// measure with one compare. After evolution, so subspaces promoted
+	// this sweep get their values immediately instead of sitting a
+	// full epoch on the construction-time defaults.
+	d.refreshThresholds()
 	// Top-K epoch decay: entries whose faded score fell below the same
 	// eviction floor the summary tables use are dropped, so the
 	// worst-offenders window forgets at the stream's pace. Depends
@@ -299,6 +308,18 @@ type Stats struct {
 	CoalescedPoints   uint64
 	CoalescedDistinct uint64
 	CoalesceGroupings uint64
+	// Auto-thresholding observability (zero unless
+	// Config.AutoThreshold is enabled): Calibrations counts
+	// successful per-(measure, arity) calibrator refits across all
+	// sweeps, CalibrationSamples the census samples they consumed,
+	// CalibratedThresholds how many of the calibrators currently hold
+	// a fitted threshold, and AutoEffTrials the controller's current
+	// effective-trials divisor (per-calibrator risk =
+	// AutoThreshold.Risk / AutoEffTrials).
+	Calibrations         uint64
+	CalibrationSamples   uint64
+	CalibratedThresholds int
+	AutoEffTrials        float64
 }
 
 // Stats returns the current snapshot. Safe to call between
@@ -310,25 +331,44 @@ func (d *Detector) Stats() Stats {
 		coalDistinct += sh.coalDistinct
 		coalGroupings += sh.coalGroupings
 	}
+	var calibrations, calSamples uint64
+	var calibrated int
+	var effTrials float64
+	if a := d.auto; a != nil {
+		calibrations = a.calibrations
+		calSamples = a.samples
+		effTrials = a.effTrials
+		for m := 0; m < autoMeasures; m++ {
+			for ar := 1; ar <= core.MaxSubspaceDims; ar++ {
+				if a.cals[m][ar].Calibrated() {
+					calibrated++
+				}
+			}
+		}
+	}
 	return Stats{
-		Tick:              d.tick,
-		BaseCells:         d.BaseCells(),
-		ProjectedCells:    d.ProjectedCells(),
-		SummaryEntries:    d.BaseCells() + d.ProjectedCells(),
-		Sweeps:            d.counters.sweeps,
-		SweepNanos:        d.counters.sweepNanos,
-		EvictedProjected:  d.counters.evictedProjected,
-		EvictedBase:       d.counters.evictedBase,
-		EvolvedActive:     d.tmpl.EvolvedCount(),
-		Promoted:          d.counters.promoted,
-		Demoted:           d.counters.demoted,
-		EvolverPanics:     d.counters.evolverPanics,
-		Checkpoints:       d.counters.checkpoints,
-		CheckpointNanos:   d.counters.checkpointNanos,
-		CheckpointBytes:   d.counters.checkpointBytes,
-		Examples:          len(d.examples),
-		CoalescedPoints:   coalPoints,
-		CoalescedDistinct: coalDistinct,
-		CoalesceGroupings: coalGroupings,
+		Tick:                 d.tick,
+		BaseCells:            d.BaseCells(),
+		ProjectedCells:       d.ProjectedCells(),
+		SummaryEntries:       d.BaseCells() + d.ProjectedCells(),
+		Sweeps:               d.counters.sweeps,
+		SweepNanos:           d.counters.sweepNanos,
+		EvictedProjected:     d.counters.evictedProjected,
+		EvictedBase:          d.counters.evictedBase,
+		EvolvedActive:        d.tmpl.EvolvedCount(),
+		Promoted:             d.counters.promoted,
+		Demoted:              d.counters.demoted,
+		EvolverPanics:        d.counters.evolverPanics,
+		Checkpoints:          d.counters.checkpoints,
+		CheckpointNanos:      d.counters.checkpointNanos,
+		CheckpointBytes:      d.counters.checkpointBytes,
+		Examples:             len(d.examples),
+		CoalescedPoints:      coalPoints,
+		CoalescedDistinct:    coalDistinct,
+		CoalesceGroupings:    coalGroupings,
+		Calibrations:         calibrations,
+		CalibrationSamples:   calSamples,
+		CalibratedThresholds: calibrated,
+		AutoEffTrials:        effTrials,
 	}
 }

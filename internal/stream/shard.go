@@ -50,6 +50,17 @@ type subspaceState struct {
 	// path's test into one compare against a cache-resident field.
 	popFloor float64
 
+	// rdThr/irsdThr/ikrdThr are the subspace's verdict thresholds for
+	// the three measures. Without auto-thresholding they are exact
+	// copies of the Config values (set once at addSubspace, so the hot
+	// path reads the same cache line as the rest of the state instead
+	// of the shared config); with Config.AutoThreshold they are
+	// overwritten at every sweep with the calibrated per-arity
+	// thresholds (refreshAutoThresholds).
+	rdThr   float64
+	irsdThr float64
+	ikrdThr float64
+
 	size       uint8   // subspace arity
 	phiPow     float64 // φ^arity, the cell count under uniformity
 	invMaxDist float64 // 1/((φ-1)*arity); 0 when φ==1
@@ -138,6 +149,13 @@ type shard struct {
 	sweepEvicted int           // eviction count of the last sweep (read after workers sync)
 	sweepEvolved []evolvedCell // per-sweep scratch: surviving evolved-subspace cells
 
+	// Auto-threshold sample buffers (Config.AutoThreshold): the
+	// shard's per-(measure, arity) minima of the per-point measure
+	// values at each sampled tick slot of the current epoch (+Inf when
+	// no warm owned subspace contributed). Min-merged across shards by
+	// the dispatcher's autoRefit after the sweep joins, then reset.
+	autoSamp [autoMeasures][core.MaxSubspaceDims + 1][]float64
+
 	// attr collects this shard's attribution entries for the current
 	// point/batch when Config.Scoring is set: one entry per flagged
 	// (subspace, cell) pair, point indices relative to the chunk. The
@@ -173,13 +191,22 @@ type evolvedCell struct {
 }
 
 func newShard(d *Detector, id int) *shard {
-	return &shard{
+	s := &shard{
 		det:   d,
 		id:    id,
 		table: core.NewPCSTable(),
 		colC:  make([][]uint8, 0, core.MaxSubspaceDims),
 		colV:  make([][]float64, 0, core.MaxSubspaceDims),
 	}
+	if d.auto != nil {
+		for m := range s.autoSamp {
+			for ar := 1; ar <= core.MaxSubspaceDims; ar++ {
+				s.autoSamp[m][ar] = make([]float64, d.auto.nSlots)
+			}
+		}
+		s.resetAutoSamples()
+	}
+	return s
 }
 
 // addSubspace hands the shard ownership of subspace id, flattening the
@@ -195,6 +222,9 @@ func (s *shard) addSubspace(id uint32) {
 		keyBase: uint64(id) << core.SubspaceShift,
 		size:    uint8(size),
 		phiPow:  math.Pow(float64(phi), float64(size)),
+		rdThr:   s.det.cfg.RDThreshold,
+		irsdThr: s.det.cfg.IRSDThreshold,
+		ikrdThr: s.det.cfg.IkRDThreshold,
 	}
 	copy(st.dims[:], s.det.tmpl.Dims(int(id)))
 	if phi > 1 {
@@ -322,12 +352,17 @@ func (s *shard) processPoint(point []float64, coords []uint8, tick uint64) bool 
 	// or fall below the uniform expectation (rd < 1, the gate for the
 	// costlier IRSD/IkRD measures) take the outlyingSlow call.
 	out := false
-	rdThr := cfg.RDThreshold
 	warmup := cfg.Warmup
 	k := cfg.K
 	scoring := cfg.Scoring
 	if scoring {
 		s.attr.reset()
+	}
+	// Auto-thresholding samples the per-point measure values on a
+	// deterministic tick stride (see autoState.sampleSlot).
+	sampleSlot := -1
+	if a := s.det.auto; a != nil {
+		sampleSlot = a.sampleSlot(tick, cfg.EpochTicks)
 	}
 	rb := 0
 	for li := range s.states {
@@ -399,15 +434,18 @@ func (s *shard) processPoint(point []float64, coords []uint8, tick uint64) bool 
 		// test rd < RDThreshold and the IRSD/IkRD gate rd < 1 become
 		// one multiply each instead of a division per subspace.
 		lhs := dc * st.phiPow
+		if sampleSlot >= 0 {
+			s.foldAutoSample(st, li, key, lhs, dc, tbl.CellAt(slots[li]).S, tot, st.total.S, st.total.Q, sampleSlot)
+		}
 		if scoring {
-			fired, sev := s.scoredVerdict(st, li, key, lhs, dc, tbl.CellAt(slots[li]).S, tot, st.total.S, st.total.Q, rdThr)
+			fired, sev := s.scoredVerdict(st, li, key, lhs, dc, tbl.CellAt(slots[li]).S, tot, st.total.S, st.total.Q, st.rdThr)
 			if fired != 0 {
 				out = true
 				s.attr.add(0, s.subs[li], key, fired, sev)
 			}
 			continue
 		}
-		if lhs < rdThr*tot || dc < st.popFloor {
+		if lhs < st.rdThr*tot || dc < st.popFloor {
 			out = true
 		} else if lhs < tot && s.outlyingSlow(st, li, key, tbl.CellAt(slots[li]).Mean(), tot, st.total.S, st.total.Q) {
 			out = true
@@ -465,7 +503,6 @@ func (s *shard) processBatch(jb job) {
 	decay := s.det.decay
 	cfg := &s.det.cfg
 	tbl := s.table
-	rdThr := cfg.RDThreshold
 	warmup := cfg.Warmup
 	k := cfg.K
 	scoring := cfg.Scoring
@@ -475,6 +512,11 @@ func (s *shard) processBatch(jb job) {
 	f1 := decay.At(1)
 	flatT, planeT := jb.flatT, jb.planeT
 	noCoalesce := cfg.NoCoalesce
+	// Auto-thresholding samples the per-point measure values on a
+	// deterministic tick stride; batches never cross an epoch
+	// boundary, so the slot of tick t0+i+1 is epoch-relative exactly
+	// as in the pointwise path.
+	auto := s.det.auto
 	rb := 0
 	for li := range s.states {
 		st := &s.states[li]
@@ -520,7 +562,7 @@ func (s *shard) processBatch(jb job) {
 		tt := &st.total
 		tdc, ts, tq, tlast := tt.Dc, tt.S, tt.Q, tt.Last
 		repMin, repMinI, repsLast := st.repMin, st.repMinI, st.repsLast
-		phiPow, popFloor := st.phiPow, st.popFloor
+		phiPow, popFloor, rdThr := st.phiPow, st.popFloor, st.rdThr
 		tick := jb.t0
 		for i := 0; i < n; i++ {
 			tick++
@@ -598,6 +640,11 @@ func (s *shard) processBatch(jb job) {
 				continue
 			}
 			lhs := dc * phiPow
+			if auto != nil {
+				if slot := auto.sampleSlot(tick, cfg.EpochTicks); slot >= 0 {
+					s.foldAutoSample(st, li, key, lhs, dc, ss[i], tdc, ts, tq, slot)
+				}
+			}
 			if scoring {
 				if fired, sev := s.scoredVerdict(st, li, key, lhs, dc, ss[i], tdc, ts, tq, rdThr); fired != 0 {
 					verdict[i>>6] |= 1 << (uint(i) & 63)
@@ -722,19 +769,19 @@ func (s *shard) refreshPopFloors() {
 // be re-read here.
 func (s *shard) outlyingSlow(st *subspaceState, li int, key uint64, cellMean, tdc, ts, tq float64) bool {
 	cfg := &s.det.cfg
-	if cfg.IRSDThreshold > 0 && tdc > 0 {
+	if st.irsdThr > 0 && tdc > 0 {
 		// Inverse Relative Standard Deviation: how far the cell's
 		// mean member magnitude sits from the subspace mean, in
 		// subspace standard deviations, mapped to (0,1] by 1/(1+z).
 		mu := ts / tdc
 		if v := tq/tdc - mu*mu; v > 0 {
 			z := math.Abs(cellMean-mu) / math.Sqrt(v)
-			if 1/(1+z) < cfg.IRSDThreshold {
+			if 1/(1+z) < st.irsdThr {
 				return true
 			}
 		}
 	}
-	if cfg.IkRDThreshold > 0 && st.invMaxDist > 0 {
+	if st.ikrdThr > 0 && st.invMaxDist > 0 {
 		// Inverse k-Relative Distance: mean grid (L1) distance from
 		// the cell to the subspace's k densest cells, normalized by
 		// the subspace's diameter and inverted so that far-from-
@@ -760,7 +807,7 @@ func (s *shard) outlyingSlow(st *subspaceState, li int, key uint64, cellMean, td
 		}
 		if cnt > 0 {
 			ikrd := 1 - (sum/float64(cnt))*st.invMaxDist
-			if ikrd < cfg.IkRDThreshold {
+			if ikrd < st.ikrdThr {
 				return true
 			}
 		}
@@ -810,17 +857,17 @@ func (s *shard) slowMeasures(st *subspaceState, li int, key uint64, cellMean, td
 	cfg := &s.det.cfg
 	var fired core.Measure
 	var sev float64
-	if cfg.IRSDThreshold > 0 && tdc > 0 {
+	if st.irsdThr > 0 && tdc > 0 {
 		mu := ts / tdc
 		if v := tq/tdc - mu*mu; v > 0 {
 			z := math.Abs(cellMean-mu) / math.Sqrt(v)
-			if irsd := 1 / (1 + z); irsd < cfg.IRSDThreshold {
+			if irsd := 1 / (1 + z); irsd < st.irsdThr {
 				fired = core.MeasureIRSD
-				sev = core.Deficit(irsd, cfg.IRSDThreshold)
+				sev = core.Deficit(irsd, st.irsdThr)
 			}
 		}
 	}
-	if cfg.IkRDThreshold > 0 && st.invMaxDist > 0 {
+	if st.ikrdThr > 0 && st.invMaxDist > 0 {
 		k := cfg.K
 		repKey := s.repKeys[li*k : li*k+k]
 		repDc := s.repDcs[li*k : li*k+k]
@@ -842,9 +889,9 @@ func (s *shard) slowMeasures(st *subspaceState, li int, key uint64, cellMean, td
 		}
 		if cnt > 0 {
 			ikrd := 1 - (sum/float64(cnt))*st.invMaxDist
-			if ikrd < cfg.IkRDThreshold {
+			if ikrd < st.ikrdThr {
 				fired |= core.MeasureIkRD
-				if s2 := core.Deficit(ikrd, cfg.IkRDThreshold); s2 > sev {
+				if s2 := core.Deficit(ikrd, st.ikrdThr); s2 > sev {
 					sev = s2
 				}
 			}

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"time"
 
 	"spot/internal/core"
+	"spot/internal/evt"
 	"spot/internal/snapshot"
 	"spot/internal/sst"
 )
@@ -28,12 +30,15 @@ import (
 // such boundary by construction (ProcessBatch joins them before
 // returning), so no extra synchronization is needed and none is taken.
 //
-// Wire format (snapshot format version 2): the sections below inside
+// Wire format (snapshot format version 3): the sections below inside
 // the internal/snapshot codec's framing (magic, format version, CRC32
 // per section), in this fixed order. Version 2 extended secMeta with
 // the scoring fields (Scoring flag, top-K capacity) and added the
-// trailing secScore heap dump; version-1 checkpoints are rejected with
-// snapshot.ErrVersion per the skew policy.
+// trailing secScore heap dump; version 3 extended secMeta with the
+// auto-threshold fields (enabled flag, Risk, Level), prefixed
+// secScore with the ranking-key rebase anchor, and added the trailing
+// secAuto calibrator dump. Checkpoints of any other version are
+// rejected with snapshot.ErrVersion per the skew policy.
 const (
 	secMeta     uint32 = 1 // geometry + tick; validated against Config
 	secTemplate uint32 = 2 // evolved SST slots, tombstones, free list
@@ -43,6 +48,7 @@ const (
 	secCounters uint32 = 6 // popAvg + epoch-engine lifetime counters
 	secEvolver  uint32 = 7 // evolver state (present iff marshalable)
 	secScore    uint32 = 8 // top-K heap entries (present iff TopK > 0)
+	secAuto     uint32 = 9 // EVT calibrators (present iff AutoThreshold)
 )
 
 // ErrConfigMismatch marks a Restore whose Config disagrees with the
@@ -89,6 +95,9 @@ func (d *Detector) Snapshot(w io.Writer) error {
 	sw.Bool(hasEvolverState)
 	sw.Bool(d.cfg.Scoring)
 	sw.U32(uint32(d.cfg.TopK))
+	sw.Bool(d.auto != nil)
+	sw.F64(d.cfg.AutoThreshold.Risk)
+	sw.F64(d.cfg.AutoThreshold.Level)
 	if err := sw.End(); err != nil {
 		return err
 	}
@@ -220,6 +229,13 @@ func (d *Detector) Snapshot(w io.Writer) error {
 			return err
 		}
 	}
+	if d.auto != nil {
+		sw.Begin(secAuto)
+		d.encodeAutoState(sw)
+		if err := sw.End(); err != nil {
+			return err
+		}
+	}
 	if err := sw.Close(); err != nil {
 		return err
 	}
@@ -267,10 +283,10 @@ type savedSub struct {
 
 // savedShard is one shard section, pending application.
 type savedShard struct {
-	subs                                   []savedSub
+	subs                                    []savedSub
 	coalPoints, coalDistinct, coalGroupings uint64
-	cellKeys                               []uint64
-	cells                                  []core.PCS
+	cellKeys                                []uint64
+	cells                                   []core.PCS
 }
 
 // Restore rebuilds a detector from a snapshot written by
@@ -311,6 +327,9 @@ func Restore(r io.Reader, cfg Config) (*Detector, error) {
 	hasEvolverState := sec.Bool()
 	scoring := sec.Bool()
 	topK := int(sec.U32())
+	autoOn := sec.Bool()
+	autoRisk := sec.F64()
+	autoLevel := sec.F64()
 	if err := sec.Err(); err != nil {
 		return nil, err
 	}
@@ -331,6 +350,12 @@ func Restore(r io.Reader, cfg Config) (*Detector, error) {
 		return nil, fmt.Errorf("%w: snapshot scoring %v, config %v", ErrConfigMismatch, scoring, cfg.Scoring)
 	case topK != cfg.TopK:
 		return nil, fmt.Errorf("%w: snapshot TopK %d, config %d", ErrConfigMismatch, topK, cfg.TopK)
+	case autoOn != (d.auto != nil):
+		return nil, fmt.Errorf("%w: snapshot auto-threshold presence %v, config %v", ErrConfigMismatch, autoOn, d.auto != nil)
+	case autoOn && autoRisk != cfg.AutoThreshold.Risk:
+		return nil, fmt.Errorf("%w: snapshot AutoThreshold.Risk %g, config %g", ErrConfigMismatch, autoRisk, cfg.AutoThreshold.Risk)
+	case autoOn && autoLevel != cfg.AutoThreshold.Level:
+		return nil, fmt.Errorf("%w: snapshot AutoThreshold.Level %g, config %g", ErrConfigMismatch, autoLevel, cfg.AutoThreshold.Level)
 	}
 	_, marshalable := d.cfg.Evolver.(sst.StateMarshaler)
 	if hasEvolverState != marshalable {
@@ -490,9 +515,6 @@ func Restore(r io.Reader, cfg Config) (*Detector, error) {
 	if err := sec.Err(); err != nil {
 		return nil, err
 	}
-	for _, sh := range d.shards {
-		sh.refreshPopFloors()
-	}
 
 	if hasEvolverState {
 		sec, err = next(sr, secEvolver)
@@ -516,6 +538,19 @@ func Restore(r io.Reader, cfg Config) (*Detector, error) {
 			return nil, err
 		}
 	}
+	if d.auto != nil {
+		sec, err = next(sr, secAuto)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.decodeAutoState(sec); err != nil {
+			return nil, err
+		}
+	}
+	// Thresholds are derived state: populated-RD floors from the
+	// restored popAvg, or — in auto mode — the restored calibrators'
+	// thresholds, so they are published after every section landed.
+	d.refreshThresholds()
 	// Drain the end marker; anything else trailing is corruption.
 	if _, err := sr.Next(); err != io.EOF {
 		if err == nil {
@@ -526,14 +561,148 @@ func Restore(r io.Reader, cfg Config) (*Detector, error) {
 	return d, nil
 }
 
+// encodeAutoState serializes the auto-thresholding state into the open
+// secAuto section: the effective-trials controller, the epoch flag
+// window, the lifetime counters, the sampling geometry, then — per
+// (measure, arity) in fixed order — the calibrator's full fit state,
+// the rolling sample window (oldest first) and the current epoch's
+// per-slot sample minima, min-merged across shards. The merged form
+// makes the section independent of the shard layout, so a checkpoint
+// restores across shard counts; a restored detector re-merges against
+// +Inf in the other shards and reproduces the identical window pushes
+// at the next sweep.
+func (d *Detector) encodeAutoState(sw *snapshot.Writer) {
+	a := d.auto
+	sw.F64(a.effTrials)
+	sw.F64(a.emaFlags)
+	sw.F64(a.emaPoints)
+	sw.U64(a.epochFlags)
+	sw.U64(a.epochPoints)
+	sw.U64(a.calibrations)
+	sw.U64(a.samples)
+	sw.U64(a.stride)
+	sw.U64(uint64(a.nSlots))
+	for m := 0; m < autoMeasures; m++ {
+		for ar := 1; ar <= core.MaxSubspaceDims; ar++ {
+			st := a.cals[m][ar].State()
+			sw.Bool(st.Calibrated)
+			sw.F64(st.Z)
+			sw.F64(st.T)
+			sw.F64(st.Gamma)
+			sw.F64(st.Sigma)
+			sw.U64(st.N)
+			sw.U64(st.Nt)
+			n := a.winLen[m][ar]
+			w := a.win[m][ar]
+			sw.U32(uint32(n))
+			if n < len(w) {
+				// Ring not yet wrapped: logical order is array order.
+				for _, v := range w[:n] {
+					sw.F64(v)
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					sw.F64(w[(a.winPos[m][ar]+i)%n])
+				}
+			}
+			for slot := 0; slot < a.nSlots; slot++ {
+				v := math.Inf(1)
+				for _, sh := range d.shards {
+					if s := sh.autoSamp[m][ar][slot]; s < v {
+						v = s
+					}
+				}
+				sw.F64(v)
+			}
+		}
+	}
+}
+
+// decodeAutoState rebuilds the auto-thresholding state from a secAuto
+// section, validating the controller invariants (effTrials within its
+// clamp bounds, finite EMA window, calibrated thresholds finite and
+// non-negative, sample values not NaN, sampling geometry matching the
+// config-derived one) so a corrupt section fails typed instead of
+// poisoning every future verdict. The merged per-slot minima land in
+// shard 0's buffers; the other shards keep +Inf, so the next sweep's
+// min-merge reproduces the snapshotted values exactly.
+func (d *Detector) decodeAutoState(sec *snapshot.Section) error {
+	a := d.auto
+	a.effTrials = sec.F64()
+	a.emaFlags = sec.F64()
+	a.emaPoints = sec.F64()
+	a.epochFlags = sec.U64()
+	a.epochPoints = sec.U64()
+	a.calibrations = sec.U64()
+	a.samples = sec.U64()
+	stride := sec.U64()
+	nSlots := sec.U64()
+	if err := sec.Err(); err != nil {
+		return err
+	}
+	if !(a.effTrials >= 1 && a.effTrials <= autoTrialsMax) {
+		return corruptf("auto effTrials %g outside [1, %d]", a.effTrials, autoTrialsMax)
+	}
+	if !(a.emaFlags >= 0) || !(a.emaPoints >= 0) || math.IsInf(a.emaFlags, 0) || math.IsInf(a.emaPoints, 0) {
+		return corruptf("auto EMA window (%g flags / %g points) is not a finite non-negative pair", a.emaFlags, a.emaPoints)
+	}
+	if stride != a.stride || nSlots != uint64(a.nSlots) {
+		return corruptf("auto sampling geometry (stride %d, %d slots) does not match the config-derived (%d, %d)",
+			stride, nSlots, a.stride, a.nSlots)
+	}
+	for m := 0; m < autoMeasures; m++ {
+		for ar := 1; ar <= core.MaxSubspaceDims; ar++ {
+			st := evt.State{Calibrated: sec.Bool(), Z: sec.F64(), T: sec.F64(), Gamma: sec.F64(), Sigma: sec.F64(), N: sec.U64(), Nt: sec.U64()}
+			if sec.Err() != nil {
+				return sec.Err()
+			}
+			if st.Calibrated && (!(st.Z >= 0) || math.IsInf(st.Z, 0)) {
+				return corruptf("auto calibrator (measure %d, arity %d) threshold %g", m, ar, st.Z)
+			}
+			if st.Nt > st.N {
+				return corruptf("auto calibrator (measure %d, arity %d) tail %d exceeds census %d", m, ar, st.Nt, st.N)
+			}
+			a.cals[m][ar].SetState(st)
+			n := sec.Count(8)
+			if sec.Err() != nil {
+				return sec.Err()
+			}
+			if n > autoWindowCap {
+				return corruptf("auto sample window (measure %d, arity %d) holds %d samples, capacity %d", m, ar, n, autoWindowCap)
+			}
+			w := a.win[m][ar]
+			for i := 0; i < n; i++ {
+				v := sec.F64()
+				if v != v {
+					return corruptf("auto sample window (measure %d, arity %d) sample %d is NaN", m, ar, i)
+				}
+				w[i] = v
+			}
+			a.winLen[m][ar] = n
+			a.winPos[m][ar] = n % autoWindowCap
+			slots := d.shards[0].autoSamp[m][ar]
+			for slot := 0; slot < a.nSlots; slot++ {
+				v := sec.F64()
+				if v != v {
+					return corruptf("auto slot buffer (measure %d, arity %d) slot %d is NaN", m, ar, slot)
+				}
+				slots[slot] = v
+			}
+		}
+	}
+	return sec.Err()
+}
+
 // encodeScoreState serializes the top-K heap into the open secScore
-// section: entry count, then each slot's (tick, raw score) in heap
-// array order, so a restore reproduces the exact slot layout — and
-// therefore the exact future displacement and query behavior — rather
-// than a merely equivalent heap. Ranking keys are not stored: they are
-// a pure function of (tick, score, λ) and are recomputed bit-
-// identically on restore.
+// section: the ranking-key rebase anchor, the entry count, then each
+// slot's (tick, raw score) in heap array order, so a restore
+// reproduces the exact slot layout — and therefore the exact future
+// displacement and query behavior — rather than a merely equivalent
+// heap. Ranking keys are not stored: they are a pure function of
+// (tick, score, λ, base) and are recomputed bit-identically on
+// restore.
 func encodeScoreState(sw *snapshot.Writer, h *topK) {
+	sw.U64(h.base)
 	sw.U32(uint32(len(h.ticks)))
 	for i := range h.ticks {
 		sw.U64(h.ticks[i])
@@ -547,13 +716,18 @@ func encodeScoreState(sw *snapshot.Writer, h *topK) {
 // ticks not past the stream tick, and the min-heap property over the
 // recomputed keys — with any violation reported as snapshot.ErrCorrupt.
 func decodeScoreState(sec *snapshot.Section, h *topK, tick uint64) error {
+	base := sec.U64()
 	n := sec.Count(16)
 	if err := sec.Err(); err != nil {
 		return err
 	}
+	if base > tick {
+		return corruptf("top-K rebase anchor %d is past the stream tick %d", base, tick)
+	}
 	if n > h.k {
 		return corruptf("top-K holds %d entries, capacity %d", n, h.k)
 	}
+	h.base = base
 	h.ticks = h.ticks[:0]
 	h.scores = h.scores[:0]
 	h.keys = h.keys[:0]

@@ -16,22 +16,31 @@ import (
 // inserted at tick t0 with raw score s is worth s·2^(-λ(t-t0)), and
 // materializing that would cost a decay lookup per compare and
 // overflow 2^(λ·t) on long streams. Instead each entry carries the
-// time-invariant ranking key log2(s) + λ·t0: for any two entries the
-// order of their keys equals the order of their decayed scores at
-// every future tick (both sides fade by the same factor), so one key
-// computed at insert time is exact forever. Ties (equal keys) rank the
-// earlier tick higher, making the heap's content deterministic.
+// time-invariant ranking key log2(s) + λ·(t0−base): for any two
+// entries the order of their keys equals the order of their decayed
+// scores at every future tick (both sides fade by the same factor),
+// so one key computed at insert time is exact forever — in exact
+// arithmetic. In floats the λ·t0 term grows without bound on long
+// streams while log2(s) stays in a few units, so an unanchored key
+// loses score resolution to the tick term's magnitude (at λ·t0 ≈
+// 2^31 a double's ulp is ~5e-7 — coarser than many score gaps). The
+// base anchor fixes that: every epoch sweep rebases to the current
+// tick and recomputes the keys, keeping the tick term's magnitude
+// bounded by λ·EpochTicks plus the entries' age spread. Ties (equal
+// keys) rank the earlier tick higher, making the heap's content
+// deterministic.
 //
 // Maintenance is allocation-free after the first growth to K entries;
 // insertion is O(log K) and rejected non-improving inserts are O(1).
 type topK struct {
 	k      int
 	lambda float64
+	base   uint64 // key anchor tick, advanced at every epoch sweep
 	// Parallel heap arrays, min-heap by (key, -tick): the root is the
 	// lowest-ranked entry, the one a better insert displaces.
 	ticks  []uint64
 	scores []float64 // raw score at insert tick
-	keys   []float64 // log2(score) + lambda*tick, fixed at insert
+	keys   []float64 // log2(score) + lambda*(tick-base), fixed at insert
 }
 
 // newTopK builds an empty heap of capacity k (k ≥ 1).
@@ -45,9 +54,12 @@ func newTopK(k int, lambda float64) *topK {
 	}
 }
 
-// rankKey is the time-invariant ordering key of an entry.
+// rankKey is the time-invariant ordering key of an entry, anchored at
+// the current base. The tick offset is computed in float64 (exact for
+// ticks below 2^53) because ticks before the base — entries inserted
+// before the last rebase — need a negative offset.
 func (h *topK) rankKey(tick uint64, score float64) float64 {
-	return math.Log2(score) + h.lambda*float64(tick)
+	return math.Log2(score) + h.lambda*(float64(tick)-float64(h.base))
 }
 
 // below reports whether entry i ranks below entry j (i is worse):
@@ -126,20 +138,25 @@ func (h *topK) scoreAt(decay *core.DecayTable, tick uint64, i int) float64 {
 
 // decayEvict drops every entry whose decayed score at tick fell below
 // eps — the top-K analogue of the summary tables' epoch eviction, run
-// at the same sweeps — then restores the heap property over the
-// survivors. eps ≤ 0 keeps everything. Allocation-free.
+// at the same sweeps — then rebases the ranking keys to the sweep
+// tick and restores the heap property over the survivors. The rebase
+// runs even with eps ≤ 0 (which evicts nothing): it is what keeps the
+// keys' tick term from outgrowing float64 score resolution on long
+// streams. Allocation-free; depends only on (tick, eps), so batch and
+// pointwise heaps stay identical.
 func (h *topK) decayEvict(decay *core.DecayTable, tick uint64, eps float64) {
-	if eps <= 0 {
-		return
-	}
 	w := 0
 	for i := range h.ticks {
-		if h.scoreAt(decay, tick, i) >= eps {
-			h.ticks[w], h.scores[w], h.keys[w] = h.ticks[i], h.scores[i], h.keys[i]
+		if eps <= 0 || h.scoreAt(decay, tick, i) >= eps {
+			h.ticks[w], h.scores[w] = h.ticks[i], h.scores[i]
 			w++
 		}
 	}
 	h.ticks, h.scores, h.keys = h.ticks[:w], h.scores[:w], h.keys[:w]
+	h.base = tick
+	for i := range h.ticks {
+		h.keys[i] = h.rankKey(h.ticks[i], h.scores[i])
+	}
 	for i := w/2 - 1; i >= 0; i-- {
 		h.siftDown(i)
 	}

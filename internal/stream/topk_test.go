@@ -167,6 +167,56 @@ func TestTopKZeroAndRejects(t *testing.T) {
 	}
 }
 
+// TestTopKLargeTickResolution is the precision regression pin for the
+// base-anchored ranking keys. Deep into a stream (tick ~2^40, λ=0.002)
+// the unanchored key log2(s) + λ·t carries a tick term near 2.2e9,
+// where a float64 ulp is ~5e-7 — coarser than nano-scale score gaps,
+// so every key collapses to the same value and a full heap churns on
+// "ties", keeping the last K inserts instead of the best K. With the
+// epoch rebase the tick offset is near zero and the key resolves the
+// gaps exactly.
+func TestTopKLargeTickResolution(t *testing.T) {
+	const lambda = 0.002
+	const bigTick = uint64(1) << 40 // λ·t ≈ 2.2e9
+	const k = 8
+	decay := core.NewDecayTable(lambda)
+	h := newTopK(k, lambda)
+	// The epoch sweep preceding the inserts: eps ≤ 0 evicts nothing but
+	// MUST still rebase — that is the bug this test pins.
+	h.decayEvict(decay, bigTick, 0)
+	if h.base != bigTick {
+		t.Fatalf("decayEvict(eps=0) did not rebase: base %d, want %d", h.base, bigTick)
+	}
+	// Best scores first, all at one tick, gapped by 1e-9 — far below
+	// the unanchored key's ulp. Without the rebase each later (worse)
+	// candidate's collapsed key equals the root's and replaces it.
+	for j := 0; j < 64; j++ {
+		h.add(bigTick+1, 2-float64(j)*1e-9)
+	}
+	got := h.appendTo(decay, bigTick+1, nil)
+	if len(got) != k {
+		t.Fatalf("heap holds %d entries, want %d", len(got), k)
+	}
+	for i, o := range got {
+		if want := 2 - float64(i)*1e-9; o.Score != want {
+			t.Fatalf("entry %d score %.12g, want %.12g — large-tick keys lost score resolution", i, o.Score, want)
+		}
+	}
+	// Survive another sweep at the next epoch: the rebase recomputes
+	// keys from raw (tick, score) pairs, so the order is unchanged and
+	// nothing above eps is lost.
+	h.decayEvict(decay, bigTick+513, 1e-6)
+	again := h.appendTo(decay, bigTick+513, nil)
+	if len(again) != k {
+		t.Fatalf("post-sweep heap holds %d entries, want %d", len(again), k)
+	}
+	for i, o := range again {
+		if want := (2 - float64(i)*1e-9) * decay.At(512); o.Score != want {
+			t.Fatalf("post-sweep entry %d score %.12g, want %.12g", i, o.Score, want)
+		}
+	}
+}
+
 // TestTopKDecayEvict checks the epoch-eviction boundary arithmetic
 // directly: an entry sits exactly at eps stays, just below goes.
 func TestTopKDecayEvict(t *testing.T) {
