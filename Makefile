@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-compare microbench vet lint fuzz cover
+.PHONY: build test bench bench-compare microbench vet lint fuzz cover e2e
 
 build:
 	go build ./...
@@ -29,6 +29,14 @@ lint: vet fuzz
 # checked-in threshold (scripts/coverage_threshold.txt).
 cover:
 	./scripts/coverage.sh
+
+# spotd crash-recovery e2e: builds the daemon binary, streams into it,
+# SIGKILLs it mid-stream, restarts over the same data directory and
+# replays — recovered verdicts must match the uninterrupted oracle bit
+# for bit; the SIGTERM variant must drain, checkpoint every
+# acknowledged point and exit 0.
+e2e:
+	go test -count=1 -run 'TestE2E' -v ./cmd/spotd
 
 bench:
 	./scripts/bench.sh

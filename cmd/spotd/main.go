@@ -1,0 +1,234 @@
+// Command spotd is the SPOT serving daemon: it hosts one or more
+// tenant detectors behind the binary TCP protocol of internal/server,
+// with bounded-queue admission control, per-request deadlines,
+// periodic crash-safe checkpointing, automatic recovery from the
+// newest verifiable checkpoint generation on startup, live snapshot
+// migration, and graceful drain on SIGTERM/SIGINT (exit 0 after a
+// clean drain).
+//
+// Tenants are declared with repeated -tenant flags:
+//
+//	spotd -listen :7070 -data /var/lib/spotd \
+//	    -tenant 'metrics:dims=8,shards=4,scoring,topk=16' \
+//	    -tenant 'logs:dims=4,lambda=0.001'
+//
+// Each tenant with a -data root checkpoints into <data>/<name> and
+// recovers from it on restart; without -data the daemon serves from
+// memory only.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"spot/internal/server"
+	"spot/internal/stream"
+)
+
+// tenantSpecs collects repeated -tenant flags.
+type tenantSpecs []string
+
+func (s *tenantSpecs) String() string { return strings.Join(*s, ";") }
+
+// Set appends one -tenant occurrence.
+func (s *tenantSpecs) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// parseTenantSpec decodes one -tenant value. The grammar is
+// "name:key=value,..." over a stream.DefaultConfig base; bare keys are
+// boolean flags.
+func parseTenantSpec(spec string) (server.TenantConfig, error) {
+	var tc server.TenantConfig
+	name, rest, ok := strings.Cut(spec, ":")
+	if !ok || name == "" {
+		return tc, fmt.Errorf("tenant spec %q: want name:key=value,...", spec)
+	}
+	tc.Name = name
+	opts := map[string]string{}
+	for _, kv := range strings.Split(rest, ",") {
+		if kv == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(kv, "=")
+		opts[k] = v
+	}
+	dims, err := specInt(opts, "dims", 0)
+	if err != nil {
+		return tc, fmt.Errorf("tenant %s: %w", name, err)
+	}
+	if dims < 1 {
+		return tc, fmt.Errorf("tenant %s: dims is required and must be >= 1", name)
+	}
+	cfg := stream.DefaultConfig(dims)
+	if cfg.Shards, err = specInt(opts, "shards", cfg.Shards); err != nil {
+		return tc, fmt.Errorf("tenant %s: %w", name, err)
+	}
+	if cfg.Phi, err = specInt(opts, "phi", cfg.Phi); err != nil {
+		return tc, fmt.Errorf("tenant %s: %w", name, err)
+	}
+	if cfg.Warmup, err = specFloat(opts, "warmup", cfg.Warmup); err != nil {
+		return tc, fmt.Errorf("tenant %s: %w", name, err)
+	}
+	if cfg.TopK, err = specInt(opts, "topk", cfg.TopK); err != nil {
+		return tc, fmt.Errorf("tenant %s: %w", name, err)
+	}
+	if cfg.Lambda, err = specFloat(opts, "lambda", cfg.Lambda); err != nil {
+		return tc, fmt.Errorf("tenant %s: %w", name, err)
+	}
+	if _, ok := opts["scoring"]; ok {
+		cfg.Scoring = true
+		delete(opts, "scoring")
+	}
+	if cfg.TopK > 0 {
+		cfg.Scoring = true
+	}
+	if len(opts) > 0 {
+		for k := range opts {
+			return tc, fmt.Errorf("tenant %s: unknown option %q", name, k)
+		}
+	}
+	tc.Stream = cfg
+	return tc, nil
+}
+
+// specInt consumes an integer option, falling back to def when absent.
+func specInt(opts map[string]string, key string, def int) (int, error) {
+	v, ok := opts[key]
+	if !ok {
+		return def, nil
+	}
+	delete(opts, key)
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("option %s=%q: %v", key, v, err)
+	}
+	return n, nil
+}
+
+// specFloat consumes a float option, falling back to def when absent.
+func specFloat(opts map[string]string, key string, def float64) (float64, error) {
+	v, ok := opts[key]
+	if !ok {
+		return def, nil
+	}
+	delete(opts, key)
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("option %s=%q: %v", key, v, err)
+	}
+	return f, nil
+}
+
+// run is the daemon body, separated from main for testability. It
+// returns nil after a clean drain.
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("spotd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specs        tenantSpecs
+		listen       = fs.String("listen", "127.0.0.1:7070", "TCP address to listen on (use :0 for an ephemeral port)")
+		data         = fs.String("data", "", "checkpoint root directory; each tenant saves under <data>/<name> (empty: no durability)")
+		keep         = fs.Int("keep", 3, "checkpoint generations to retain per tenant")
+		queueDepth   = fs.Int("queue-depth", 64, "per-tenant admission queue capacity; full queues shed with the typed backpressure code")
+		ckptPoints   = fs.Uint64("checkpoint-points", 4096, "checkpoint a tenant every N ingested points (0 disables the points cadence)")
+		ckptInterval = fs.Duration("checkpoint-interval", 30*time.Second, "checkpoint a tenant after this much wall time with new points (0 disables)")
+		maxDeadline  = fs.Duration("max-deadline", time.Minute, "cap on client-requested per-request deadlines")
+		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before lingering connections are cut")
+		addrFile     = fs.String("addr-file", "", "write the bound listen address to this file once serving (for test harnesses and supervisors)")
+	)
+	fs.Var(&specs, "tenant", "tenant spec name:key=value,... (dims required; shards, phi, warmup, lambda, scoring, topk); repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("at least one -tenant is required")
+	}
+
+	logger := log.New(stderr, "spotd ", log.LstdFlags|log.Lmsgprefix)
+	tenants := make([]server.TenantConfig, 0, len(specs))
+	for _, spec := range specs {
+		tc, err := parseTenantSpec(spec)
+		if err != nil {
+			return err
+		}
+		if *data != "" {
+			tc.Dir = filepath.Join(*data, tc.Name)
+			tc.Keep = *keep
+		}
+		tenants = append(tenants, tc)
+	}
+
+	s, err := server.New(server.Options{
+		QueueDepth:         *queueDepth,
+		CheckpointPoints:   *ckptPoints,
+		CheckpointInterval: *ckptInterval,
+		MaxDeadline:        *maxDeadline,
+	}, tenants)
+	if err != nil {
+		return err
+	}
+	for _, tc := range tenants {
+		ts, _ := s.Tenant(tc.Name)
+		if ts.RecoveredPath != "" {
+			logger.Printf("tenant %s: recovered tick %d from %s", tc.Name, ts.RecoveredTick, ts.RecoveredPath)
+		} else {
+			logger.Printf("tenant %s: fresh start", tc.Name)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s", ln.Addr())
+	if *addrFile != "" {
+		// Write-temp-rename so a watcher never reads a partial address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			return err
+		}
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	drained := make(chan error, 1)
+	go func() {
+		sig := <-sigc
+		logger.Printf("received %s, draining (timeout %s)", sig, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		drained <- s.Shutdown(ctx)
+	}()
+
+	if err := s.Serve(ln); err != nil {
+		return err
+	}
+	if err := <-drained; err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "spotd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestParseTenantSpec drives the -tenant grammar through its accepted
+// and rejected shapes.
+func TestParseTenantSpec(t *testing.T) {
+	tc, err := parseTenantSpec("metrics:dims=8,shards=4,scoring,topk=16,lambda=0.001,warmup=0,phi=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tc.Stream
+	if tc.Name != "metrics" || cfg.Dims != 8 || cfg.Shards != 4 || !cfg.Scoring ||
+		cfg.TopK != 16 || cfg.Lambda != 0.001 || cfg.Warmup != 0 || cfg.Phi != 10 {
+		t.Fatalf("parsed %+v", tc)
+	}
+
+	// topk alone implies scoring.
+	tc, err = parseTenantSpec("a:dims=2,topk=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc.Stream.Scoring {
+		t.Fatal("topk did not imply scoring")
+	}
+
+	// Unset options keep the DefaultConfig values.
+	tc, err = parseTenantSpec("a:dims=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Stream.Phi == 0 || tc.Stream.Lambda == 0 {
+		t.Fatalf("defaults not applied: %+v", tc.Stream)
+	}
+
+	for _, bad := range []string{
+		"",                  // no name
+		"noopts",            // missing colon
+		":dims=2",           // empty name
+		"a:",                // dims missing
+		"a:dims=0",          // dims out of range
+		"a:dims=x",          // non-integer
+		"a:dims=2,bogus=1",  // unknown option
+		"a:dims=2,lambda=x", // non-float
+	} {
+		if _, err := parseTenantSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestRunFlagErrors pins the daemon's refusal paths: no tenants, bad
+// specs, and unparseable flags all fail before binding a socket.
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{},                            // no tenants
+		{"-tenant", "bad"},            // malformed spec
+		{"-tenant", "a:dims=2", "-x"}, // unknown flag
+		{"-listen", "256.0.0.1:bad", "-tenant", "a:dims=2"}, // unbindable address
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestTenantSpecsFlag covers the repeatable-flag plumbing.
+func TestTenantSpecsFlag(t *testing.T) {
+	var s tenantSpecs
+	s.Set("a:dims=2")
+	s.Set("b:dims=3")
+	if got := s.String(); !strings.Contains(got, "a:dims=2") || !strings.Contains(got, "b:dims=3") {
+		t.Fatalf("specs flag: %q", got)
+	}
+}

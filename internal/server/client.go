@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client speaks the spotd wire protocol over one TCP connection.
+// Requests on a single client are serialized (one in flight at a
+// time); open several clients for parallelism. All methods surface
+// the server's typed refusals as the package's typed errors — ErrShed
+// and ErrDeadline mean nothing was applied and the call is safe to
+// retry.
+type Client struct {
+	mu sync.Mutex
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to a spotd server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// roundTrip sends one frame and reads the reply, decoding error frames
+// into typed errors.
+func (c *Client) roundTrip(typ uint8, head, body []byte) (uint8, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, typ, head, body); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	rtyp, payload, err := readFrame(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rtyp == msgError {
+		return 0, nil, decodeError(payload)
+	}
+	return rtyp, payload, nil
+}
+
+// IngestOptions tunes one Ingest call.
+type IngestOptions struct {
+	// Scored requests ensemble scores alongside verdicts; the tenant
+	// must have Scoring configured.
+	Scored bool
+	// Deadline is the request's time budget: if the tenant worker has
+	// not reached the batch when it expires, the server replies
+	// ErrDeadline without applying anything. Zero: no deadline.
+	Deadline time.Duration
+}
+
+// IngestResult is a successful batch's outcome.
+type IngestResult struct {
+	// T0 is the stream tick before the batch: point i of the batch is
+	// stream tick T0+i+1. A client replaying after a crash compares T0
+	// against the recovered tick to find where to resume.
+	T0 uint64
+	// Verdicts holds one projected-outlier verdict per point.
+	Verdicts []bool
+	// Scores holds the ensemble scores when Scored was requested, nil
+	// otherwise.
+	Scores []float64
+}
+
+// Ingest streams one batch of points points (len(flat) = points*dims,
+// row-major) into a tenant and returns its verdicts.
+func (c *Client) Ingest(tenant string, flat []float64, points int, o IngestOptions) (IngestResult, error) {
+	if points < 1 || len(flat)%points != 0 {
+		return IngestResult{}, fmt.Errorf("%w: %d values over %d points", ErrBadRequest, len(flat), points)
+	}
+	head, err := appendName(nil, tenant)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	var flags uint8
+	if o.Scored {
+		flags |= 1
+	}
+	head = append(head, flags)
+	head = binary.LittleEndian.AppendUint32(head, uint32(o.Deadline/time.Millisecond))
+	head = binary.LittleEndian.AppendUint32(head, uint32(points))
+	body := appendF64s(make([]byte, 0, 8*len(flat)), flat)
+	rtyp, payload, err := c.roundTrip(msgIngest, head, body)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	if rtyp != msgVerdicts {
+		return IngestResult{}, fmt.Errorf("%w: unexpected reply type %#x", ErrInternal, rtyp)
+	}
+	b := wireBuf{data: payload}
+	res := IngestResult{T0: b.u64()}
+	n := int(b.u32())
+	scored := b.u8()
+	if b.err != nil || n != points {
+		return IngestResult{}, fmt.Errorf("%w: malformed verdict frame", ErrInternal)
+	}
+	bits := b.take((n + 7) / 8)
+	if bits == nil {
+		return IngestResult{}, fmt.Errorf("%w: malformed verdict frame", ErrInternal)
+	}
+	res.Verdicts = make([]bool, n)
+	for i := range res.Verdicts {
+		res.Verdicts[i] = bits[i>>3]&(1<<(uint(i)&7)) != 0
+	}
+	if scored == 1 {
+		res.Scores = make([]float64, n)
+		b.f64s(res.Scores)
+		if b.err != nil {
+			return IngestResult{}, fmt.Errorf("%w: malformed score frame", ErrInternal)
+		}
+	}
+	return res, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, _, err := c.roundTrip(msgPing, nil, nil)
+	return err
+}
+
+// TenantStats fetches one tenant's status.
+func (c *Client) TenantStats(tenant string) (TenantStatus, error) {
+	head, err := appendName(nil, tenant)
+	if err != nil {
+		return TenantStatus{}, err
+	}
+	_, payload, err := c.roundTrip(msgStats, head, nil)
+	if err != nil {
+		return TenantStatus{}, err
+	}
+	var ts TenantStatus
+	if err := json.Unmarshal(payload, &ts); err != nil {
+		return TenantStatus{}, fmt.Errorf("%w: %v", ErrInternal, err)
+	}
+	return ts, nil
+}
+
+// ServerStats fetches the server-wide status.
+func (c *Client) ServerStats() (Status, error) {
+	_, payload, err := c.roundTrip(msgStats, []byte{0}, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return Status{}, fmt.Errorf("%w: %v", ErrInternal, err)
+	}
+	return st, nil
+}
+
+// Snapshot streams the tenant's full detector state out — the sending
+// half of live migration. The snapshot is taken at a batch boundary by
+// the tenant's own worker, so it is exactly the state an uninterrupted
+// detector would checkpoint there.
+func (c *Client) Snapshot(tenant string) ([]byte, error) {
+	head, err := appendName(nil, tenant)
+	if err != nil {
+		return nil, err
+	}
+	rtyp, payload, err := c.roundTrip(msgSnapshot, head, nil)
+	if err != nil {
+		return nil, err
+	}
+	if rtyp != msgSnapRep {
+		return nil, fmt.Errorf("%w: unexpected reply type %#x", ErrInternal, rtyp)
+	}
+	return payload, nil
+}
+
+// Restore replaces the tenant's detector state with a snapshot taken
+// elsewhere — the receiving half of live migration. The tenant's
+// configuration must match the snapshot (ErrConflict otherwise), and
+// on success the migrated state is immediately checkpointed.
+func (c *Client) Restore(tenant string, snap []byte) error {
+	head, err := appendName(nil, tenant)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.roundTrip(msgRestore, head, snap)
+	return err
+}
+
+// Checkpoint forces a durable checkpoint now and returns its path on
+// the server.
+func (c *Client) Checkpoint(tenant string) (string, error) {
+	head, err := appendName(nil, tenant)
+	if err != nil {
+		return "", err
+	}
+	_, payload, err := c.roundTrip(msgCheckpoint, head, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(payload), nil
+}

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateWriter blocks every Write until released, signalling entry once
+// — the deterministic way to pin a tenant worker inside a checkpoint
+// while admission keeps running.
+type gateWriter struct {
+	w       io.Writer
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gateWriter) Write(b []byte) (int, error) {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+	return g.w.Write(b)
+}
+
+// stallTenant installs a gateWriter as the tenant's checkpoint hook
+// and submits a checkpoint so the worker blocks inside Save. Must run
+// before the server starts serving (the hook is worker-read).
+func stallTenant(t *testing.T, s *Server, name string) *gateWriter {
+	t.Helper()
+	gate := &gateWriter{entered: make(chan struct{}), release: make(chan struct{})}
+	s.tenants[name].saveWrap = func(w io.Writer) io.Writer {
+		gate.w = w
+		return gate
+	}
+	return gate
+}
+
+// TestOverloadSheds is the backpressure property test: with the worker
+// pinned and the admission queue saturated, exactly QueueDepth ingests
+// are admitted and every other one is shed with the typed ErrShed —
+// nothing buffers beyond the configured depth and nothing admitted is
+// dropped. After release, the admitted batches complete with
+// contiguous, non-overlapping tick ranges.
+func TestOverloadSheds(t *testing.T) {
+	const depth, hammer, batch, dims = 2, 12, 5, 2
+	cfg := testStream(dims)
+	cfg.Scoring = false
+	cfg.TopK = 0
+	s, err := New(
+		Options{QueueDepth: depth},
+		[]TenantConfig{{Name: "a", Stream: cfg, Dir: t.TempDir()}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := stallTenant(t, s, "a")
+	_, addr := serveExisting(t, s)
+
+	// Pin the worker inside a forced checkpoint.
+	ckptDone := make(chan error, 1)
+	go func() {
+		c, err := Dial(addr)
+		if err != nil {
+			ckptDone <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Checkpoint("a")
+		ckptDone <- err
+	}()
+	<-gate.entered
+
+	// Saturate: hammer concurrent single-batch ingests from independent
+	// connections while the worker cannot drain.
+	flat := genPoints(20, batch, dims)
+	type outcome struct {
+		t0  uint64
+		err error
+	}
+	results := make(chan outcome, hammer)
+	for i := 0; i < hammer; i++ {
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer c.Close()
+			res, err := c.Ingest("a", flat, batch, IngestOptions{})
+			results <- outcome{t0: res.T0, err: err}
+		}()
+	}
+
+	// Collect the sheds first: everything beyond the queue depth is
+	// refused immediately even though the worker is stuck.
+	var shed int
+	var t0s []uint64
+	deadline := time.After(10 * time.Second)
+	collected := 0
+	released := false
+	for collected < hammer {
+		select {
+		case r := <-results:
+			collected++
+			switch {
+			case errors.Is(r.err, ErrShed):
+				shed++
+			case r.err == nil:
+				t0s = append(t0s, r.t0)
+			default:
+				t.Fatalf("unexpected ingest outcome: %v", r.err)
+			}
+			// Once every shed has reported, unpin the worker so the
+			// admitted batches can finish.
+			if !released && collected == hammer-depth {
+				released = true
+				close(gate.release)
+			}
+		case <-deadline:
+			t.Fatalf("timed out: %d/%d outcomes, %d shed", collected, hammer, shed)
+		}
+	}
+	if err := <-ckptDone; err != nil {
+		t.Fatalf("pinned checkpoint failed: %v", err)
+	}
+
+	if shed != hammer-depth {
+		t.Fatalf("shed %d ingests, want %d (queue depth %d)", shed, hammer-depth, depth)
+	}
+	if len(t0s) != depth {
+		t.Fatalf("%d ingests admitted, want %d", len(t0s), depth)
+	}
+	// No silent drops and no double-applies: the admitted batches cover
+	// exactly ticks [0, depth*batch) back to back.
+	sort.Slice(t0s, func(i, j int) bool { return t0s[i] < t0s[j] })
+	for i, t0 := range t0s {
+		if t0 != uint64(i*batch) {
+			t.Fatalf("admitted batch %d starts at tick %d, want %d", i, t0, i*batch)
+		}
+	}
+
+	st, ok := s.Tenant("a")
+	if !ok {
+		t.Fatal("tenant missing")
+	}
+	// Accepted counts the checkpoint request plus the admitted ingests.
+	if st.Shed != uint64(hammer-depth) || st.Accepted != depth+1 {
+		t.Fatalf("counters: accepted %d shed %d, want %d/%d", st.Accepted, st.Shed, depth+1, hammer-depth)
+	}
+	if st.Tick != depth*batch {
+		t.Fatalf("tick %d, want %d (shed batches must not apply)", st.Tick, depth*batch)
+	}
+	if st.QueueCap != depth {
+		t.Fatalf("queue cap %d, want %d", st.QueueCap, depth)
+	}
+}
+
+// TestQueuedDeadlineExpires pins the deadline contract: a batch whose
+// budget expires while queued behind a stuck worker is answered with
+// the typed ErrDeadline and never touches the detector.
+func TestQueuedDeadlineExpires(t *testing.T) {
+	cfg := testStream(2)
+	cfg.Scoring = false
+	cfg.TopK = 0
+	s, err := New(Options{}, []TenantConfig{{Name: "a", Stream: cfg, Dir: t.TempDir()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := stallTenant(t, s, "a")
+	_, addr := serveExisting(t, s)
+
+	ckptDone := make(chan error, 1)
+	go func() {
+		c, err := Dial(addr)
+		if err != nil {
+			ckptDone <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Checkpoint("a")
+		ckptDone <- err
+	}()
+	<-gate.entered
+
+	// The ingest sits behind the pinned checkpoint until long after its
+	// 1ms budget.
+	ingestDone := make(chan error, 1)
+	go func() {
+		c, err := Dial(addr)
+		if err != nil {
+			ingestDone <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Ingest("a", genPoints(21, 3, 2), 3, IngestOptions{Deadline: time.Millisecond})
+		ingestDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(gate.release)
+	if err := <-ckptDone; err != nil {
+		t.Fatalf("pinned checkpoint failed: %v", err)
+	}
+	if err := <-ingestDone; !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired ingest: got %v, want ErrDeadline", err)
+	}
+
+	st, _ := s.Tenant("a")
+	if st.Tick != 0 {
+		t.Fatalf("expired batch advanced the stream to tick %d", st.Tick)
+	}
+	if st.DeadlineMisses != 1 {
+		t.Fatalf("deadline misses %d, want 1", st.DeadlineMisses)
+	}
+	// The tenant still serves.
+	c := dial(t, addr)
+	if _, err := c.Ingest("a", genPoints(22, 3, 2), 3, IngestOptions{}); err != nil {
+		t.Fatalf("ingest after deadline miss: %v", err)
+	}
+}
+
+// TestWorkerPanicContained pins per-request panic containment: a
+// checkpoint hook that panics becomes a CodeInternal reply, the panic
+// counter ticks, and the worker keeps serving the tenant.
+func TestWorkerPanicContained(t *testing.T) {
+	cfg := testStream(2)
+	cfg.Scoring = false
+	cfg.TopK = 0
+	s, err := New(Options{}, []TenantConfig{{Name: "a", Stream: cfg, Dir: t.TempDir()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.tenants["a"].saveWrap = func(w io.Writer) io.Writer {
+		panic("poisoned checkpoint")
+	}
+	_, addr := serveExisting(t, s)
+	c := dial(t, addr)
+
+	_, err = c.Checkpoint("a")
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("panicking checkpoint: got %v, want ErrInternal", err)
+	}
+	// The worker survived; ingest still works on the same connection.
+	if _, err := c.Ingest("a", genPoints(23, 4, 2), 4, IngestOptions{}); err != nil {
+		t.Fatalf("ingest after contained panic: %v", err)
+	}
+	st, _ := s.Tenant("a")
+	if st.Panics != 1 {
+		t.Fatalf("panic counter %d, want 1", st.Panics)
+	}
+}

@@ -390,3 +390,25 @@ func (s *Section) Count(minSize int) int {
 	}
 	return int(n)
 }
+
+// Verify walks a snapshot stream end to end, checking the header and
+// every section CRC, without interpreting any section's contents. It
+// returns nil when the stream is structurally sound and the typed
+// error of the first fault otherwise (ErrBadMagic, ErrVersion,
+// ErrChecksum, ErrTruncated, ErrCorrupt). Semantic validity — whether
+// the sections decode into a detector — is Restore's job; Verify is
+// the cheap integrity probe health endpoints and keepers use.
+func Verify(r io.Reader) error {
+	sr, err := NewReader(r)
+	if err != nil {
+		return err
+	}
+	for {
+		if _, err := sr.Next(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}

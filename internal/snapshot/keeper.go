@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // ckptPrefix/ckptSuffix frame checkpoint file names: ckpt-<seq>.spot,
@@ -215,3 +216,66 @@ func (k *Keeper) Load(restore func(r io.Reader) error) (string, error) {
 // usable — the condition under which a caller starts fresh instead of
 // restoring.
 func IsNoCheckpoint(err error) bool { return errors.Is(err, ErrNoCheckpoint) }
+
+// Info describes the keeper's newest retained checkpoint generation —
+// the metadata a serving daemon's health endpoint reports without
+// decoding detector state.
+type Info struct {
+	// Generations is the number of retained checkpoint generations.
+	Generations int
+	// LatestSeq and LatestPath identify the newest generation; zero
+	// values when Generations is 0.
+	LatestSeq  uint64
+	LatestPath string
+	// Bytes is the newest generation's file size.
+	Bytes int64
+	// SavedAt is the newest generation's modification time — when its
+	// Save completed.
+	SavedAt time.Time
+	// Verified reports whether the newest generation's framing and
+	// every section CRC check out (see Verify); VerifyError carries
+	// the typed failure when it does not. A false Verified does not
+	// mean recovery is lost: Load falls back to older generations.
+	Verified    bool
+	VerifyError string
+}
+
+// Info inspects the retained generations and CRC-verifies the newest
+// one. It never decodes detector state, so it is cheap enough for a
+// health endpoint on a checkpoint cadence; with zero generations it
+// returns a zero Info and no error.
+func (k *Keeper) Info() (Info, error) {
+	gens, err := k.generations()
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{Generations: len(gens)}
+	if len(gens) == 0 {
+		return info, nil
+	}
+	seq := gens[len(gens)-1]
+	p := k.path(seq)
+	info.LatestSeq = seq
+	info.LatestPath = p
+	st, err := os.Stat(p)
+	if err != nil {
+		// Pruned or removed between the listing and the stat; report
+		// what the listing saw rather than failing the health probe.
+		info.VerifyError = err.Error()
+		return info, nil
+	}
+	info.Bytes = st.Size()
+	info.SavedAt = st.ModTime()
+	f, err := os.Open(p)
+	if err != nil {
+		info.VerifyError = err.Error()
+		return info, nil
+	}
+	defer f.Close()
+	if err := Verify(f); err != nil {
+		info.VerifyError = err.Error()
+		return info, nil
+	}
+	info.Verified = true
+	return info, nil
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"spot/internal/core"
 	"spot/internal/sst"
@@ -77,6 +78,15 @@ type Config struct {
 	// Lambda is the exponential fading factor λ; a point observed Δt
 	// ticks ago weighs 2^(-λΔt).
 	Lambda float64
+	// Decay optionally injects a precomputed decay table to use instead
+	// of building a private one. Decay tables are immutable after
+	// construction (~32 KiB each), so a process hosting many detectors
+	// with the same Lambda — spotd's multi-tenant registry — shares one
+	// table across all of them. Must satisfy Decay.Lambda() == Lambda;
+	// nil builds a private table. Never serialized: a snapshot records
+	// Lambda and a restored detector takes whatever table its restore
+	// Config supplies.
+	Decay *core.DecayTable
 	// Min and Max bound the data space per dimension; nil defaults to
 	// the unit box [0,1). Out-of-range values clamp to edge cells.
 	Min, Max []float64
@@ -312,6 +322,7 @@ type Detector struct {
 
 	jobs      []chan job
 	done      chan struct{}
+	workers   sync.WaitGroup
 	workersUp bool
 	closed    bool
 }
@@ -333,6 +344,10 @@ func New(cfg Config) (*Detector, error) {
 	if cap := 1 / (1 - math.Exp2(-cfg.Lambda)); cfg.Warmup >= cap {
 		return nil, fmt.Errorf("stream: Warmup %g is unreachable: decayed stream weight asymptotes at %.1f for Lambda=%g",
 			cfg.Warmup, cap, cfg.Lambda)
+	}
+	if cfg.Decay != nil && cfg.Decay.Lambda() != cfg.Lambda {
+		return nil, fmt.Errorf("stream: shared decay table built for Lambda=%g, config says %g",
+			cfg.Decay.Lambda(), cfg.Lambda)
 	}
 	if cfg.EvictEpsilon < 0 {
 		return nil, fmt.Errorf("stream: EvictEpsilon must be non-negative, got %g", cfg.EvictEpsilon)
@@ -396,11 +411,15 @@ func New(cfg Config) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
+	decay := cfg.Decay
+	if decay == nil {
+		decay = core.NewDecayTable(cfg.Lambda)
+	}
 	d := &Detector{
 		cfg:      cfg,
 		grid:     grid,
 		tmpl:     tmpl,
-		decay:    core.NewDecayTable(cfg.Lambda),
+		decay:    decay,
 		bcs:      core.NewBCSTable(cfg.Dims),
 		bscratch: make([]uint8, cfg.Dims),
 	}
@@ -671,10 +690,12 @@ func (d *Detector) runBatch(flat []float64, n int, out []bool, scores []float64,
 func (d *Detector) startWorkers() {
 	d.jobs = make([]chan job, len(d.shards))
 	d.done = make(chan struct{}, len(d.shards))
+	d.workers.Add(len(d.shards))
 	for i, sh := range d.shards {
 		ch := make(chan job, 1)
 		d.jobs[i] = ch
 		go func(sh *shard) {
+			defer d.workers.Done()
 			for jb := range ch {
 				if jb.sweep {
 					sh.sweepEvicted = sh.sweep(jb.t0, jb.eps, d.perSub)
@@ -688,8 +709,16 @@ func (d *Detector) startWorkers() {
 	d.workersUp = true
 }
 
-// Close stops the shard workers. The detector must not be used after
-// Close; it is safe to call on a detector whose workers never started.
+// Close stops the shard workers and waits for them to exit: when it
+// returns, no detector goroutine remains, so a host tearing a tenant
+// down (or swapping in a migrated replacement) can free or reuse its
+// resources immediately. Close is idempotent — the second and every
+// later call is a no-op — and safe on a detector whose workers never
+// started. After Close every ingestion and snapshot entry point fails
+// with ErrClosed (the Err variants return it, the panicking wrappers
+// panic with it); Close must be called from the goroutine that drives
+// Process/ProcessBatch, between calls, like every other non-ingest
+// operation.
 func (d *Detector) Close() {
 	if d.closed {
 		return
@@ -699,8 +728,13 @@ func (d *Detector) Close() {
 		for _, ch := range d.jobs {
 			close(ch)
 		}
+		d.workers.Wait()
 	}
 }
+
+// Closed reports whether Close has been called. Safe from the driving
+// goroutine only, like Close itself.
+func (d *Detector) Closed() bool { return d.closed }
 
 // MarkExample records the point as a caller-confirmed outlier example —
 // the supervised feedback channel of the paper's example-driven SST

@@ -151,6 +151,9 @@ func (d *Detector) mergeScores(n int, t0 uint64, base int, scores []float64) {
 // ErrScoringDisabled otherwise). The verdict is identical to what
 // Process would have returned.
 func (d *Detector) ProcessScored(point []float64) (bool, float64) {
+	if d.closed {
+		panic(ErrClosed)
+	}
 	if !d.cfg.Scoring {
 		panic(ErrScoringDisabled)
 	}
