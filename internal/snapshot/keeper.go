@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -32,10 +33,18 @@ const (
 // reason for the ones that don't; if none survives, it reports
 // ErrNoCheckpoint with the reasons attached, and the caller degrades
 // to a fresh start.
+//
+// A Keeper is safe for concurrent use: sequence numbers are allocated
+// under a mutex, so parallel Saves (e.g. a tenant worker's cadence and
+// a replication shipper) each get a distinct generation, and Load,
+// Info and Verify only ever observe complete generations because a
+// checkpoint appears under its durable name atomically via rename.
 type Keeper struct {
 	dir  string
 	keep int
-	seq  uint64
+
+	mu  sync.Mutex
+	seq uint64
 }
 
 // NewKeeper opens (creating if needed) a checkpoint directory that
@@ -49,7 +58,10 @@ func NewKeeper(dir string, keep int) (*Keeper, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("snapshot: keeper dir: %w", err)
 	}
-	k := &Keeper{dir: dir, keep: keep}
+	// Sequence numbers start at 1 so generation 0 unambiguously means
+	// "none" wherever a generation number travels alone (e.g. the ping
+	// identity reply).
+	k := &Keeper{dir: dir, keep: keep, seq: 1}
 	gens, err := k.generations()
 	if err != nil {
 		return nil, err
@@ -103,6 +115,18 @@ func (k *Keeper) Generations() (int, error) {
 	return len(gens), err
 }
 
+// NewestSeq returns the sequence number of the newest retained
+// generation and whether one exists. It lists the directory rather
+// than trusting the in-memory counter, so it reflects what a recovery
+// would actually see.
+func (k *Keeper) NewestSeq() (uint64, bool) {
+	gens, err := k.generations()
+	if err != nil || len(gens) == 0 {
+		return 0, false
+	}
+	return gens[len(gens)-1], true
+}
+
 // path returns the durable file name of generation seq.
 func (k *Keeper) path(seq uint64) string {
 	return filepath.Join(k.dir, fmt.Sprintf("%s%d%s", ckptPrefix, seq, ckptSuffix))
@@ -117,8 +141,10 @@ func (k *Keeper) path(seq uint64) string {
 // retention count are pruned. Returns the durable path and the number
 // of bytes written.
 func (k *Keeper) Save(write func(w io.Writer) error) (string, int64, error) {
+	k.mu.Lock()
 	seq := k.seq
 	k.seq++
+	k.mu.Unlock()
 	tmp := filepath.Join(k.dir, fmt.Sprintf(".%s%d%s%s", ckptPrefix, seq, ckptSuffix, tmpSuffix))
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {

@@ -68,8 +68,8 @@ func TestKeeperInfoRotation(t *testing.T) {
 		if info.Generations != wantGens {
 			t.Fatalf("after save %d: got %d generations, want %d", i, info.Generations, wantGens)
 		}
-		if info.LatestSeq != uint64(i) {
-			t.Fatalf("after save %d: latest seq %d, want %d", i, info.LatestSeq, i)
+		if info.LatestSeq != uint64(i+1) {
+			t.Fatalf("after save %d: latest seq %d, want %d", i, info.LatestSeq, i+1)
 		}
 		if info.LatestPath != lastPath {
 			t.Fatalf("after save %d: latest path %q, want %q", i, info.LatestPath, lastPath)
@@ -179,7 +179,7 @@ func TestKeeperInfoReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Generations != 2 || info.LatestSeq != 1 || !info.Verified {
+	if info.Generations != 2 || info.LatestSeq != 2 || !info.Verified {
 		t.Fatalf("reopened keeper info: %+v", info)
 	}
 	// The resumed sequence counter keeps Info monotonic across the
@@ -189,7 +189,7 @@ func TestKeeperInfoReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.LatestSeq != 2 || info.Generations != 2 {
+	if info.LatestSeq != 3 || info.Generations != 2 {
 		t.Fatalf("post-restart save: %+v", info)
 	}
 }

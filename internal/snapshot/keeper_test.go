@@ -94,7 +94,7 @@ func TestKeeperRotationAndFallback(t *testing.T) {
 	if n, _ := k.Generations(); n != 2 {
 		t.Fatalf("retention: %d generations kept, want 2", n)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "ckpt-0.spot")); !os.IsNotExist(err) {
+	if _, err := os.Stat(filepath.Join(dir, "ckpt-1.spot")); !os.IsNotExist(err) {
 		t.Fatal("oldest generation not pruned")
 	}
 	p, payload, err := loadBlob(k)
@@ -116,14 +116,14 @@ func TestKeeperRotationAndFallback(t *testing.T) {
 	}
 
 	// Corrupt every generation: ErrNoCheckpoint with both reasons.
-	if err := os.WriteFile(filepath.Join(dir, "ckpt-1.spot"), []byte("junk"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-2.spot"), []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	_, _, err = loadBlob(k)
 	if !IsNoCheckpoint(err) {
 		t.Fatalf("all corrupt: %v, want ErrNoCheckpoint", err)
 	}
-	for _, gen := range []string{"ckpt-1.spot", "ckpt-2.spot"} {
+	for _, gen := range []string{"ckpt-2.spot", "ckpt-3.spot"} {
 		if !strings.Contains(err.Error(), gen) {
 			t.Fatalf("all-corrupt error does not name %s: %v", gen, err)
 		}
@@ -192,7 +192,7 @@ func TestKeeperTornRename(t *testing.T) {
 	saveBlob(t, k, "durable")
 	// Simulate a crash between write and rename: a complete temp file
 	// on disk that never got published.
-	torn := filepath.Join(dir, ".ckpt-1.spot.tmp")
+	torn := filepath.Join(dir, ".ckpt-2.spot.tmp")
 	if err := os.WriteFile(torn, []byte("torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestKeeperTornRename(t *testing.T) {
 		t.Fatalf("restart load: %q, %v", payload, err)
 	}
 	p := saveBlob(t, k2, "next")
-	if !strings.HasSuffix(p, "ckpt-1.spot") {
+	if !strings.HasSuffix(p, "ckpt-2.spot") {
 		t.Fatalf("sequence did not resume above the newest generation: %s", p)
 	}
 }
