@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-compare microbench vet lint fuzz cover e2e
+.PHONY: build test bench bench-compare microbench vet lint fuzz cover e2e chaos
 
 build:
 	go build ./...
@@ -37,6 +37,18 @@ cover:
 # acknowledged point and exit 0.
 e2e:
 	go test -count=1 -run 'TestE2E' -v ./cmd/spotd
+
+# Replication chaos drill, under the race detector: a primary+standby
+# spotd pair streams a labeled workload while the harness SIGKILLs
+# processes (promote + restart per the failover runbook), severs the
+# replication link through a proxy, and corrupts every Nth shipped
+# snapshot on the wire. Every verdict must match an uninterrupted
+# oracle at the tick the server reports, every call must return a
+# verdict or typed error (never hang), and no standby may accept a
+# generation that regresses one it holds. CHAOS_ROUNDS overrides the
+# default 20 randomized rounds.
+chaos:
+	go test -race -count=1 -run 'TestChaosFailover' -v ./cmd/spotd
 
 bench:
 	./scripts/bench.sh

@@ -32,17 +32,19 @@ import (
 	"syscall"
 	"time"
 
+	"spot/internal/replica"
 	"spot/internal/server"
 	"spot/internal/stream"
 )
 
-// tenantSpecs collects repeated -tenant flags.
-type tenantSpecs []string
+// repeatable collects a repeatable string flag (-tenant,
+// -replicate-to).
+type repeatable []string
 
-func (s *tenantSpecs) String() string { return strings.Join(*s, ";") }
+func (s *repeatable) String() string { return strings.Join(*s, ";") }
 
-// Set appends one -tenant occurrence.
-func (s *tenantSpecs) Set(v string) error {
+// Set appends one occurrence.
+func (s *repeatable) Set(v string) error {
 	*s = append(*s, v)
 	return nil
 }
@@ -138,7 +140,7 @@ func run(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spotd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		specs        tenantSpecs
+		specs        repeatable
 		listen       = fs.String("listen", "127.0.0.1:7070", "TCP address to listen on (use :0 for an ephemeral port)")
 		data         = fs.String("data", "", "checkpoint root directory; each tenant saves under <data>/<name> (empty: no durability)")
 		keep         = fs.Int("keep", 3, "checkpoint generations to retain per tenant")
@@ -148,8 +150,14 @@ func run(args []string, stderr io.Writer) error {
 		maxDeadline  = fs.Duration("max-deadline", time.Minute, "cap on client-requested per-request deadlines")
 		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before lingering connections are cut")
 		addrFile     = fs.String("addr-file", "", "write the bound listen address to this file once serving (for test harnesses and supervisors)")
+		id           = fs.String("id", "spotd", "server identity on the wire; ping replies and replication pushes carry it")
+		standby      = fs.Bool("standby", false, "start in the standby role: refuse ingest and accept replication pushes until promoted")
+		replInterval = fs.Duration("replicate-interval", time.Second, "warm-standby snapshot shipping cadence (with -replicate-to)")
+		replFault    = fs.Int("replicate-fault-every", 0, "TESTING: corrupt every Nth replication push on the wire (0 disables)")
 	)
+	var replTargets repeatable
 	fs.Var(&specs, "tenant", "tenant spec name:key=value,... (dims required; shards, phi, warmup, lambda, scoring, topk); repeatable")
+	fs.Var(&replTargets, "replicate-to", "standby address to ship snapshot generations to while primary; repeatable")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -171,15 +179,22 @@ func run(args []string, stderr io.Writer) error {
 		tenants = append(tenants, tc)
 	}
 
+	role := server.RolePrimary
+	if *standby {
+		role = server.RoleStandby
+	}
 	s, err := server.New(server.Options{
 		QueueDepth:         *queueDepth,
 		CheckpointPoints:   *ckptPoints,
 		CheckpointInterval: *ckptInterval,
 		MaxDeadline:        *maxDeadline,
+		ID:                 *id,
+		Role:               role,
 	}, tenants)
 	if err != nil {
 		return err
 	}
+	logger.Printf("serving as %s (role %s)", *id, role)
 	for _, tc := range tenants {
 		ts, _ := s.Tenant(tc.Name)
 		if ts.RecoveredPath != "" {
@@ -205,12 +220,33 @@ func run(args []string, stderr io.Writer) error {
 		}
 	}
 
+	// The shipper starts alongside Serve. On a standby it lies dormant
+	// until promotion, so a symmetric pair can each point -replicate-to
+	// at the other: only the current primary ever ships.
+	var shipper *replica.Shipper
+	if len(replTargets) > 0 {
+		shipper, err = replica.NewShipper(replica.ShipperConfig{
+			Server:      s,
+			Targets:     replTargets,
+			Interval:    *replInterval,
+			FaultEveryN: *replFault,
+			Logf:        logger.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		logger.Printf("replicating to %s every %s (incarnation %s)", strings.Join(replTargets, ", "), *replInterval, shipper.Incarnation())
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	drained := make(chan error, 1)
 	go func() {
 		sig := <-sigc
 		logger.Printf("received %s, draining (timeout %s)", sig, *drainWait)
+		if shipper != nil {
+			shipper.Stop()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		drained <- s.Shutdown(ctx)

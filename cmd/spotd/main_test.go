@@ -71,7 +71,7 @@ func TestRunFlagErrors(t *testing.T) {
 
 // TestTenantSpecsFlag covers the repeatable-flag plumbing.
 func TestTenantSpecsFlag(t *testing.T) {
-	var s tenantSpecs
+	var s repeatable
 	s.Set("a:dims=2")
 	s.Set("b:dims=3")
 	if got := s.String(); !strings.Contains(got, "a:dims=2") || !strings.Contains(got, "b:dims=3") {

@@ -1,0 +1,273 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"spot/internal/server"
+)
+
+// ErrPossiblyApplied marks a request whose connection failed after the
+// request may have reached the server — a timeout or connection reset
+// with the reply outstanding. The failover client never silently
+// retries such a request: a blind resend could double-apply the batch.
+// Callers resolve the ambiguity against the detector's tick (Resync)
+// and replay deterministically from there.
+var ErrPossiblyApplied = errors.New("replica: request may have been applied")
+
+// Config tunes a failover client.
+type Config struct {
+	// Addrs are the replica set's dial addresses, primary position
+	// unknown: the client discovers the primary by typed refusal
+	// (server.ErrNotPrimary rotates to the next candidate) and follows
+	// it across promotions the same way.
+	Addrs []string
+	// Client tunes each underlying connection's I/O deadlines.
+	Client server.ClientOptions
+	// MaxAttempts bounds one call's tries across backoff and rotation.
+	// Default 8.
+	MaxAttempts int
+	// BaseBackoff is the first retry's delay, doubled each retry up to
+	// MaxBackoff, with jitter. Defaults 25ms and 1s.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth.
+	MaxBackoff time.Duration
+	// Seed seeds the jitter source so chaos runs replay exactly; 0
+	// takes a fixed default.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 25 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Client is a failover-aware spotd client over a replica set. Each
+// call dials (or reuses) a connection to the current candidate,
+// retries retryable typed refusals with bounded exponential backoff
+// and jitter, rotates candidates when the current one is unreachable,
+// draining or a standby, and surfaces ErrPossiblyApplied instead of
+// retrying when a state-changing request failed ambiguously mid-flight.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	c   *server.Client
+	idx int // current candidate in cfg.Addrs
+	rng *rand.Rand
+}
+
+// NewClient builds a failover client over the replica set. No
+// connection is made until the first call.
+func NewClient(cfg Config) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("replica: client needs at least one address")
+	}
+	cfg.defaults()
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Close closes the current connection, if any.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.c != nil {
+		err := c.c.Close()
+		c.c = nil
+		return err
+	}
+	return nil
+}
+
+// Addr returns the address of the candidate the client currently
+// targets — after a successful call, the serving primary.
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Addrs[c.idx]
+}
+
+// conn returns the current connection, dialing if needed.
+func (c *Client) conn() (*server.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.c != nil {
+		return c.c, nil
+	}
+	dialed, err := server.DialOptions(c.cfg.Addrs[c.idx], c.cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	c.c = dialed
+	return dialed, nil
+}
+
+// drop discards the current connection and optionally rotates to the
+// next candidate.
+func (c *Client) drop(rotate bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.c != nil {
+		c.c.Close()
+		c.c = nil
+	}
+	if rotate {
+		c.idx = (c.idx + 1) % len(c.cfg.Addrs)
+	}
+}
+
+// backoff sleeps the attempt's jittered exponential delay.
+func (c *Client) backoff(attempt int) {
+	d := c.cfg.BaseBackoff << uint(attempt)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	jitter := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	time.Sleep(time.Duration(float64(d) * jitter))
+}
+
+// outcome classifies one attempt's error.
+type outcome int
+
+const (
+	done      outcome = iota // success or permanent error: return to caller
+	retrySame                // typed not-applied refusal: back off, same candidate
+	rotate                   // candidate cannot serve: drop it, try the next
+	ambiguous                // transport fault mid-request: applied state unknown
+)
+
+// classify maps one attempt's error to the retry action. The split is
+// the retry-safety contract: only errors that prove the server did not
+// apply the request are retried; transport faults after the request
+// was written are ambiguous.
+func classify(err error) outcome {
+	switch {
+	case err == nil,
+		errors.Is(err, server.ErrBadRequest),
+		errors.Is(err, server.ErrUnknownTenant),
+		errors.Is(err, server.ErrConflict),
+		errors.Is(err, server.ErrInternal):
+		return done
+	case errors.Is(err, server.ErrShed),
+		errors.Is(err, server.ErrDeadline):
+		// The server replied with a typed not-applied refusal; the same
+		// candidate will accept once load drains.
+		return retrySame
+	case errors.Is(err, server.ErrNotPrimary),
+		errors.Is(err, server.ErrDraining):
+		// This replica cannot serve the request at all: follow the
+		// promotion (or the drain) to the next candidate.
+		return rotate
+	default:
+		// Dial failures, timeouts, resets. Whether the request reached
+		// the server is unknown at this layer.
+		return ambiguous
+	}
+}
+
+// call runs one request through the retry loop. dialFailed is reported
+// separately from in-flight transport faults: a request that was never
+// written is always safe to retry, even when mutating.
+func (c *Client) call(mutating bool, do func(sc *server.Client) error) error {
+	var last error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt - 1)
+		}
+		sc, err := c.conn()
+		if err != nil {
+			// Nothing was written: rotate and retry regardless of the
+			// request's mutability.
+			last = err
+			c.drop(true)
+			continue
+		}
+		err = do(sc)
+		switch classify(err) {
+		case done:
+			return err
+		case retrySame:
+			last = err
+		case rotate:
+			last = err
+			c.drop(true)
+		case ambiguous:
+			c.drop(true)
+			if mutating {
+				return fmt.Errorf("%w: %v", ErrPossiblyApplied, err)
+			}
+			last = err
+		}
+	}
+	return fmt.Errorf("replica: %d attempts exhausted: %w", c.cfg.MaxAttempts, last)
+}
+
+// Ingest streams one batch into the tenant on the serving primary.
+// Typed not-applied refusals (shed, deadline, standby, draining) are
+// retried with backoff and failover; an ambiguous in-flight failure
+// returns ErrPossiblyApplied without retrying — resolve it with Resync
+// and replay deterministically from the server's tick.
+func (c *Client) Ingest(tenant string, flat []float64, points int, o server.IngestOptions) (server.IngestResult, error) {
+	var res server.IngestResult
+	err := c.call(true, func(sc *server.Client) error {
+		var err error
+		res, err = sc.Ingest(tenant, flat, points, o)
+		return err
+	})
+	return res, err
+}
+
+// PingInfo returns the identity of the replica the client currently
+// targets, with retry and failover. Idempotent, so ambiguous failures
+// are retried.
+func (c *Client) PingInfo() (server.PingInfo, error) {
+	var info server.PingInfo
+	err := c.call(false, func(sc *server.Client) error {
+		var err error
+		info, err = sc.PingInfo()
+		return err
+	})
+	return info, err
+}
+
+// Resync returns the tenant's current detector tick on the serving
+// primary — the resolution step after ErrPossiblyApplied: a tick that
+// already covers the ambiguous batch proves it was applied; one that
+// does not proves it was not, and the client replays from there. The
+// tick is read from the primary specifically — a standby answers stats
+// too, but its tick may trail inside the replication-lag window, and
+// replaying against the primary from a stale position would fork the
+// stream. Reads are idempotent, so ambiguous failures are retried.
+func (c *Client) Resync(tenant string) (uint64, error) {
+	var tick uint64
+	err := c.call(false, func(sc *server.Client) error {
+		info, err := sc.PingInfo()
+		if err != nil {
+			return err
+		}
+		if info.Role != server.RolePrimary {
+			return fmt.Errorf("%w: %s holds the %s role", server.ErrNotPrimary, info.ID, info.Role)
+		}
+		ts, err := sc.TenantStats(tenant)
+		if err == nil {
+			tick = ts.Tick
+		}
+		return err
+	})
+	return tick, err
+}

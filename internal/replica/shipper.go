@@ -1,0 +1,339 @@
+// Package replica implements warm-standby replication for spotd: a
+// Shipper that runs beside a primary server and periodically ships
+// verified snapshot generations to standby servers, and a failover
+// Client that retries retryable refusals with bounded backoff and
+// follows the primary role across a replica set.
+//
+// The replication contract: each shipped generation carries the
+// shipping primary's incarnation (its wire ID plus a per-process
+// nonce), a sequence number and the detector tick of the snapshot.
+// Within one incarnation both must strictly advance — a standby
+// refuses a regression with server.ErrStaleGeneration, the divergence
+// signal — while a new incarnation (failover, primary restart) resets
+// the baseline and is followed wholesale, because the serving primary
+// is authoritative. Standbys apply generations through the restore
+// path and checkpoint them immediately, so a standby crash recovers
+// warm.
+package replica
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"spot/internal/server"
+	"spot/internal/snapshot"
+)
+
+// DefaultInterval is the ship cadence when ShipperConfig.Interval is
+// zero.
+const DefaultInterval = time.Second
+
+// ShipperConfig configures a replication shipper.
+type ShipperConfig struct {
+	// Server is the local server whose tenants are shipped. The shipper
+	// only ships while the server holds the primary role, so a shipper
+	// configured on a standby lies dormant until promotion.
+	Server *server.Server
+	// Targets are the standby dial addresses.
+	Targets []string
+	// Interval is the ship cadence. Default DefaultInterval.
+	Interval time.Duration
+	// ID overrides the incarnation's base identity; default the
+	// server's wire ID. The shipper appends a per-process nonce so a
+	// restarted primary starts a fresh incarnation and standbys reset
+	// their regression baseline instead of refusing its restarted
+	// sequence numbers.
+	ID string
+	// Client tunes the replication links' I/O deadlines.
+	Client server.ClientOptions
+	// FaultEveryN, when positive, corrupts every Nth push on the wire —
+	// the chaos harness's snapshot-corruption injection. The standby
+	// refuses the corrupt generation and the next cadence re-ships it
+	// clean.
+	FaultEveryN int
+	// Logf, when set, receives one line per shipping fault.
+	Logf func(format string, args ...any)
+}
+
+// target is one standby link's shipper-side state. The shipper
+// goroutine owns everything under the Shipper mutex; Status reads it.
+type target struct {
+	addr  string
+	c     *server.Client
+	acked map[string]uint64 // tenant → newest acked generation seq
+
+	gens     uint64
+	bytes    uint64
+	fails    uint64
+	lastErr  string
+	behind   uint64
+	bytesSec float64
+}
+
+// generation is one cut snapshot awaiting delivery.
+type generation struct {
+	seq  uint64
+	tick uint64
+	snap []byte
+}
+
+// Shipper periodically snapshots every tenant of a primary server and
+// ships undelivered generations to each standby target. Build with
+// NewShipper, stop with Stop.
+type Shipper struct {
+	cfg ShipperConfig
+	id  string
+
+	mu      sync.Mutex
+	active  bool
+	gens    map[string]*generation // tenant → newest cut generation
+	targets []*target
+	pushes  uint64 // lifetime push counter, drives FaultEveryN
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewShipper starts a shipper for cfg.Server. It ships on every
+// Interval tick while the server holds the primary role.
+func NewShipper(cfg ShipperConfig) (*Shipper, error) {
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("replica: shipper needs a server")
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("replica: shipper needs at least one target")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.ID == "" {
+		cfg.ID = cfg.Server.ID()
+	}
+	var nonce [4]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("replica: incarnation nonce: %w", err)
+	}
+	s := &Shipper{
+		cfg:  cfg,
+		id:   cfg.ID + "/" + hex.EncodeToString(nonce[:]),
+		gens: make(map[string]*generation),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, addr := range cfg.Targets {
+		s.targets = append(s.targets, &target{addr: addr, acked: make(map[string]uint64)})
+	}
+	cfg.Server.SetReplicationStatus(s.Status)
+	go s.run()
+	return s, nil
+}
+
+// Incarnation returns the identity this shipper stamps on every
+// generation: the configured ID plus the per-process nonce.
+func (s *Shipper) Incarnation() string { return s.id }
+
+// Stop halts shipping and closes the replication links. Idempotent is
+// not required: call exactly once.
+func (s *Shipper) Stop() {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tg := range s.targets {
+		if tg.c != nil {
+			tg.c.Close()
+			tg.c = nil
+		}
+	}
+}
+
+// run is the shipping loop: one pass per interval tick.
+func (s *Shipper) run() {
+	defer close(s.done)
+	tick := time.NewTicker(s.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.pass()
+		}
+	}
+}
+
+// pass cuts one generation per tenant whose stream advanced and ships
+// every generation a target has not acked. Dormant while the server is
+// not primary.
+func (s *Shipper) pass() {
+	primary := s.cfg.Server.Primary()
+	s.mu.Lock()
+	s.active = primary
+	s.mu.Unlock()
+	if !primary {
+		return
+	}
+	names := s.cfg.Server.TenantNames()
+	sort.Strings(names)
+	for _, name := range names {
+		s.cut(name)
+	}
+	start := time.Now()
+	shipped := make([]uint64, len(s.targets)) // bytes shipped per target this pass
+	for i, tg := range s.targets {
+		for _, name := range names {
+			s.mu.Lock()
+			gen := s.gens[name]
+			due := gen != nil && tg.acked[name] < gen.seq
+			s.mu.Unlock()
+			if due {
+				shipped[i] += s.ship(tg, name, gen)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	for i, tg := range s.targets {
+		tg.behind = 0
+		for name, gen := range s.gens {
+			if acked := tg.acked[name]; gen.seq > acked {
+				tg.behind += gen.seq - acked
+			}
+		}
+		if sec := elapsed.Seconds(); sec > 0 && shipped[i] > 0 {
+			tg.bytesSec = float64(shipped[i]) / sec
+		}
+	}
+	s.mu.Unlock()
+}
+
+// cut snapshots one tenant through its worker queue and, when the
+// stream advanced past the last cut, publishes it as the next
+// generation. A shed snapshot (saturated queue) just waits for the
+// next cadence — replication never preempts serving.
+func (s *Shipper) cut(name string) {
+	snap, tick, err := s.cfg.Server.SnapshotTenant(name)
+	if err != nil {
+		s.logf("replica: snapshot %s: %v", name, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.gens[name]
+	if prev != nil && tick <= prev.tick {
+		return // nothing new to ship
+	}
+	next := &generation{seq: 1, tick: tick, snap: snap}
+	if prev != nil {
+		next.seq = prev.seq + 1
+	}
+	s.gens[name] = next
+}
+
+// ship delivers one generation to one target and returns the payload
+// bytes on success. Failures close the link (it redials next pass),
+// record the error, and leave the generation unacked for re-shipping.
+func (s *Shipper) ship(tg *target, name string, gen *generation) uint64 {
+	s.mu.Lock()
+	s.pushes++
+	corrupt := s.cfg.FaultEveryN > 0 && s.pushes%uint64(s.cfg.FaultEveryN) == 0
+	s.mu.Unlock()
+
+	fail := func(err error) uint64 {
+		s.logf("replica: ship %s gen %d to %s: %v", name, gen.seq, tg.addr, err)
+		s.mu.Lock()
+		tg.fails++
+		tg.lastErr = err.Error()
+		if tg.c != nil {
+			tg.c.Close()
+			tg.c = nil
+		}
+		s.mu.Unlock()
+		return 0
+	}
+
+	s.mu.Lock()
+	c := tg.c
+	s.mu.Unlock()
+	if c == nil {
+		dialed, err := server.DialOptions(tg.addr, s.cfg.Client)
+		if err != nil {
+			return fail(err)
+		}
+		// The mis-wiring guard: never ship state into a server that
+		// believes it is primary — that is split brain, and the push
+		// would be refused anyway. Checked once per link establishment.
+		info, err := dialed.PingInfo()
+		if err != nil {
+			dialed.Close()
+			return fail(err)
+		}
+		if info.Role != server.RoleStandby {
+			dialed.Close()
+			return fail(fmt.Errorf("target %s (%s) holds the %s role", tg.addr, info.ID, info.Role))
+		}
+		s.mu.Lock()
+		tg.c = dialed
+		s.mu.Unlock()
+		c = dialed
+	}
+
+	payload := gen.snap
+	if corrupt {
+		// Chaos injection: flip one byte mid-snapshot via the fault
+		// reader, so the standby's verification path is exercised on a
+		// real wire push. The clean payload re-ships next pass.
+		r := snapshot.NewBitFlipReader(bytes.NewReader(gen.snap), int64(len(gen.snap)/2), 0x20)
+		bad, err := io.ReadAll(r)
+		if err != nil {
+			return fail(err)
+		}
+		payload = bad
+	}
+	if err := c.Replicate(name, s.id, gen.seq, gen.tick, payload); err != nil {
+		return fail(err)
+	}
+	s.mu.Lock()
+	tg.acked[name] = gen.seq
+	tg.gens++
+	tg.bytes += uint64(len(payload))
+	tg.lastErr = ""
+	s.mu.Unlock()
+	return uint64(len(payload))
+}
+
+// Status reports the shipper's health in the shape the server's stats
+// endpoint surfaces.
+func (s *Shipper) Status() server.ReplicationStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := server.ReplicationStatus{
+		Active:         s.active,
+		IntervalMillis: s.cfg.Interval.Milliseconds(),
+	}
+	for _, tg := range s.targets {
+		st.Targets = append(st.Targets, server.ReplTargetStatus{
+			Addr:         tg.addr,
+			GensShipped:  tg.gens,
+			BytesShipped: tg.bytes,
+			ShipFailures: tg.fails,
+			Behind:       tg.behind,
+			BytesPerSec:  tg.bytesSec,
+			LastError:    tg.lastErr,
+		})
+	}
+	return st
+}
+
+// logf writes one diagnostic line when a logger is configured.
+func (s *Shipper) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

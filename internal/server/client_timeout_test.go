@@ -1,0 +1,95 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestClientReadTimeout pins the hung-server guard: a server that
+// accepts the request but never replies must surface the typed
+// ErrTimeout within the configured budget instead of blocking
+// roundTrip forever, and the poisoned connection must fail every
+// subsequent call fast instead of mis-matching a late reply.
+func TestClientReadTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Hung server: accept, swallow bytes, never reply.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	c, err := DialOptions(ln.Addr().String(), ClientOptions{ReadTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	err = c.Ping()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("ping against hung server: got %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, want ~100ms", elapsed)
+	}
+	// The connection is poisoned: later calls fail immediately with the
+	// recorded fault, they do not hang again.
+	start = time.Now()
+	if err := c.Ping(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("ping on poisoned connection: got %v, want wrapped ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("poisoned call took %v, want immediate", elapsed)
+	}
+}
+
+// TestClientTimeoutDisabled pins the opt-out: negative timeouts
+// restore the undeadlined behavior, so a slow-but-alive exchange under
+// a generous window still completes.
+func TestClientTimeoutDisabled(t *testing.T) {
+	_, addr := startServer(t, Options{}, []TenantConfig{{Name: "a", Stream: testStream(2)}})
+	c, err := DialOptions(addr, ClientOptions{DialTimeout: -1, ReadTimeout: -1, WriteTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("undeadlined ping: %v", err)
+	}
+}
+
+// TestClientDialTimeoutTyped pins that dial-phase failures surface
+// before anything was written — the one transport error a caller may
+// always retry blindly.
+func TestClientDialTimeoutTyped(t *testing.T) {
+	// A listener with nobody accepting still completes TCP connects
+	// (kernel backlog), so use a closed port for the immediate-failure
+	// path instead.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := DialOptions(addr, ClientOptions{DialTimeout: time.Second}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

@@ -16,6 +16,30 @@ import (
 	"spot/internal/core"
 )
 
+// Role is a server's position in a replication pair: a primary serves
+// ingest and ships snapshot generations; a standby refuses ingest with
+// CodeNotPrimary and accepts replication pushes until promoted.
+type Role uint8
+
+// The two server roles. RolePrimary is the zero value, so an
+// unconfigured server behaves exactly as before replication existed.
+const (
+	RolePrimary Role = iota
+	RoleStandby
+)
+
+// String names the role for stats and logs.
+func (r Role) String() string {
+	if r == RoleStandby {
+		return "standby"
+	}
+	return "primary"
+}
+
+// ErrNotServing marks an in-process request (e.g. a replication
+// shipper's snapshot) made before Serve started the tenant workers.
+var ErrNotServing = errors.New("server: not serving yet")
+
 // Options tunes the server's robustness machinery; zero values take
 // the documented defaults.
 type Options struct {
@@ -33,6 +57,13 @@ type Options struct {
 	CheckpointInterval time.Duration
 	// MaxDeadline caps a client-requested deadline budget. Default 1m.
 	MaxDeadline time.Duration
+	// ID names this server on the wire: ping replies and replication
+	// pushes carry it so clients and standbys can detect mis-wiring.
+	// Default "spotd".
+	ID string
+	// Role is the server's starting replication role. RolePrimary (the
+	// zero value) serves ingest; RoleStandby refuses it until Promote.
+	Role Role
 }
 
 func (o *Options) defaults() {
@@ -41,6 +72,9 @@ func (o *Options) defaults() {
 	}
 	if o.MaxDeadline <= 0 {
 		o.MaxDeadline = time.Minute
+	}
+	if o.ID == "" {
+		o.ID = "spotd"
 	}
 }
 
@@ -59,8 +93,16 @@ type Server struct {
 
 	connWG sync.WaitGroup
 
+	// role flips exactly once, standby → primary, on Promote.
+	role atomic.Uint32
+
+	// replStatus, when set, reports the replication shipper's health
+	// into the stats endpoint (SetReplicationStatus).
+	replStatus atomic.Pointer[func() ReplicationStatus]
+
 	badFrames  atomic.Uint64
 	connPanics atomic.Uint64
+	promotions atomic.Uint64
 }
 
 // New builds a server hosting the given tenants. Each tenant with a
@@ -95,7 +137,71 @@ func New(opts Options, tenants []TenantConfig) (*Server, error) {
 		}
 		s.tenants[tc.Name] = t
 	}
+	s.role.Store(uint32(opts.Role))
 	return s, nil
+}
+
+// ID returns the server's wire identity.
+func (s *Server) ID() string { return s.opts.ID }
+
+// Role returns the server's current replication role.
+func (s *Server) Role() Role { return Role(s.role.Load()) }
+
+// Primary reports whether the server currently holds the primary role.
+func (s *Server) Primary() bool { return s.Role() == RolePrimary }
+
+// Promote flips the server to the primary role — the explicit
+// failover step after the old primary died. Idempotent; once primary,
+// a server never demotes itself (restart it as a standby instead), so
+// there is no window where neither side serves ingest.
+func (s *Server) Promote() {
+	if s.role.Swap(uint32(RolePrimary)) != uint32(RolePrimary) {
+		s.promotions.Add(1)
+	}
+}
+
+// TenantNames lists the hosted tenants (stable registry, any order).
+func (s *Server) TenantNames() []string {
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	return names
+}
+
+// SnapshotTenant takes one tenant's full snapshot at a batch boundary
+// through its worker queue — the in-process entry the replication
+// shipper uses. Returns the snapshot bytes and the detector tick they
+// were taken at. Subject to the same admission control as wire
+// requests: a saturated queue sheds with ErrShed and the caller
+// retries on its next cadence.
+func (s *Server) SnapshotTenant(name string) ([]byte, uint64, error) {
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return nil, 0, ErrNotServing
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownTenant, name)
+	}
+	req := &request{kind: reqSnapshot, resp: make(chan response, 1)}
+	if err := t.admit(req); err != nil {
+		return nil, 0, err
+	}
+	resp := <-req.resp
+	if resp.code != 0 {
+		return nil, 0, codeErr(resp.code, resp.msg)
+	}
+	return resp.snap, resp.t0, nil
+}
+
+// SetReplicationStatus installs the callback the stats endpoint uses
+// to report the replication shipper's health (the shipper lives above
+// the server, so the server cannot observe it directly).
+func (s *Server) SetReplicationStatus(fn func() ReplicationStatus) {
+	s.replStatus.Store(&fn)
 }
 
 // Tenant returns a tenant's status, or false when the server does not
@@ -289,7 +395,7 @@ func replyErr(w io.Writer, code uint8, msg string) {
 func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) {
 	switch typ {
 	case msgPing:
-		writeFrame(w, msgOK, nil, nil)
+		s.servePing(w)
 	case msgIngest:
 		s.serveIngest(w, payload)
 	case msgStats:
@@ -300,9 +406,64 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) {
 		s.serveWorker(w, payload, &request{kind: reqCheckpoint})
 	case msgRestore:
 		s.serveRestore(w, payload)
+	case msgReplicate:
+		s.serveReplicate(w, payload)
+	case msgPromote:
+		s.Promote()
+		writeFrame(w, msgOK, nil, nil)
 	default:
 		replyErr(w, CodeBadRequest, fmt.Sprintf("unknown message type %#x", typ))
 	}
+}
+
+// servePing replies with the server's identity: role, the newest
+// verified checkpoint generation across tenants, and the wire ID —
+// enough for a client to find the primary and for a shipper to detect
+// mis-wiring before shipping state. Pings never touch a worker queue,
+// so liveness stays observable under full overload.
+func (s *Server) servePing(w io.Writer) {
+	var gen uint64
+	for _, t := range s.tenants {
+		if g := t.ckptGen.Load(); g > gen {
+			gen = g
+		}
+	}
+	p := make([]byte, 0, 10+len(s.opts.ID))
+	p = append(p, uint8(s.Role()))
+	p = binary.LittleEndian.AppendUint64(p, gen)
+	p = append(p, uint8(len(s.opts.ID)))
+	p = append(p, s.opts.ID...)
+	writeFrame(w, msgOK, p, nil)
+}
+
+// serveReplicate applies one shipped snapshot generation to a standby
+// tenant: name, primary incarnation, sequence number, tick, then the
+// raw snapshot bytes. The role gate runs here; integrity verification
+// and the regression check run on the tenant worker so they are exact.
+func (s *Server) serveReplicate(w io.Writer, payload []byte) {
+	b := wireBuf{data: payload}
+	name := b.name()
+	primary := b.name()
+	seq := b.u64()
+	tick := b.u64()
+	if b.err != nil {
+		replyErr(w, CodeBadRequest, b.err.Error())
+		return
+	}
+	if s.Role() != RoleStandby {
+		replyErr(w, CodeNotStandby, s.opts.ID)
+		return
+	}
+	t := s.lookup(w, name)
+	if t == nil {
+		return
+	}
+	snap := append([]byte{}, b.rest()...)
+	resp := s.submit(w, t, &request{kind: reqReplicate, snap: snap, replID: primary, replSeq: seq, replTick: tick})
+	if resp == nil {
+		return
+	}
+	writeFrame(w, msgOK, nil, nil)
 }
 
 // lookup resolves a tenant or replies with the typed refusal; the
@@ -353,6 +514,13 @@ func (s *Server) serveIngest(w io.Writer, payload []byte) {
 	n := int(b.u32())
 	if b.err != nil {
 		replyErr(w, CodeBadRequest, b.err.Error())
+		return
+	}
+	if s.Role() != RolePrimary {
+		// A standby's detector state is owned by the replication stream;
+		// letting clients ingest into it would fork the history the
+		// primary ships. Typed refusal: fail over, nothing was applied.
+		replyErr(w, CodeNotPrimary, s.opts.ID)
 		return
 	}
 	t := s.lookup(w, name)
@@ -452,17 +620,58 @@ func (s *Server) serveRestore(w io.Writer, payload []byte) {
 	writeFrame(w, msgOK, nil, nil)
 }
 
+// ReplicationStatus is the replication shipper's health as surfaced
+// through the stats endpoint. The shipper (internal/replica) fills it
+// via SetReplicationStatus; a server without a shipper reports a zero
+// value with Active false.
+type ReplicationStatus struct {
+	// Active reports whether a shipper is running and currently
+	// shipping (i.e. the server holds the primary role).
+	Active bool
+	// Interval is the configured ship cadence in milliseconds.
+	IntervalMillis int64
+	// Targets holds one entry per configured standby address.
+	Targets []ReplTargetStatus
+}
+
+// ReplTargetStatus is one standby link's shipping health.
+type ReplTargetStatus struct {
+	// Addr is the standby's dial address.
+	Addr string
+	// GensShipped and BytesShipped are lifetime delivery counters.
+	GensShipped  uint64
+	BytesShipped uint64
+	// ShipFailures counts failed deliveries (dial, refusal, timeout).
+	ShipFailures uint64
+	// Behind is the replication lag in generations: how many snapshot
+	// generations the primary has cut that this standby has not acked.
+	Behind uint64
+	// BytesPerSec is the recent shipping throughput.
+	BytesPerSec float64
+	// LastError is the most recent delivery failure, empty when the
+	// link is healthy.
+	LastError string
+}
+
 // Status is the server-wide health snapshot the stats endpoint
 // reports.
 type Status struct {
+	// ID and Role identify the server in a replication pair.
+	ID   string
+	Role string
 	// Draining reports whether Shutdown has begun.
 	Draining bool
 	// Conns is the number of open client connections.
 	Conns int
 	// BadFrames and ConnPanics are lifetime counters of malformed
-	// frames and contained connection-handler panics.
+	// frames and contained connection-handler panics; Promotions counts
+	// standby-to-primary role flips.
 	BadFrames  uint64
 	ConnPanics uint64
+	Promotions uint64
+	// Replication is the shipper's health when this server replicates
+	// to standbys (zero with Active false otherwise).
+	Replication ReplicationStatus
 	// Tenants holds every tenant's status, keyed by name.
 	Tenants map[string]TenantStatus
 }
@@ -473,11 +682,17 @@ func (s *Server) status() Status {
 	conns := len(s.conns)
 	s.mu.Unlock()
 	st := Status{
+		ID:         s.opts.ID,
+		Role:       s.Role().String(),
 		Draining:   s.draining.Load(),
 		Conns:      conns,
 		BadFrames:  s.badFrames.Load(),
 		ConnPanics: s.connPanics.Load(),
+		Promotions: s.promotions.Load(),
 		Tenants:    make(map[string]TenantStatus, len(s.tenants)),
+	}
+	if fn := s.replStatus.Load(); fn != nil {
+		st.Replication = (*fn)()
 	}
 	for name, t := range s.tenants {
 		st.Tenants[name] = t.status()

@@ -19,6 +19,7 @@ const (
 	reqSnapshot
 	reqRestore
 	reqCheckpoint
+	reqReplicate
 )
 
 // request is one unit of admitted work. Every admitted request gets
@@ -30,7 +31,10 @@ type request struct {
 	n        int
 	scored   bool
 	deadline time.Time // zero: no deadline
-	snap     []byte    // reqRestore payload
+	snap     []byte    // reqRestore / reqReplicate payload
+	replID   string    // reqReplicate: shipping primary's incarnation
+	replSeq  uint64    // reqReplicate: generation sequence number
+	replTick uint64    // reqReplicate: detector tick of the snapshot
 	resp     chan response
 }
 
@@ -90,6 +94,15 @@ type tenant struct {
 	// hook.
 	saveWrap func(io.Writer) io.Writer
 
+	// Worker-owned replication tracking: the last accepted generation,
+	// keyed by the shipping primary's incarnation. A push from the same
+	// incarnation must strictly advance both sequence number and tick;
+	// a new incarnation (failover, primary restart) resets the baseline
+	// and is followed wholesale.
+	replID   string
+	replSeq  uint64
+	replTick uint64
+
 	// Published state, read by any goroutine.
 	stats        atomic.Pointer[stream.Stats]
 	accepted     atomic.Uint64
@@ -98,6 +111,19 @@ type tenant struct {
 	panics       atomic.Uint64
 	ckptFails    atomic.Uint64
 	lastCkptErr  atomic.Pointer[string]
+
+	// Replication-receive counters (standby side).
+	replAccepted atomic.Uint64
+	replStale    atomic.Uint64
+	replCorrupt  atomic.Uint64
+	replLastID   atomic.Pointer[string]
+	replLastSeq  atomic.Uint64
+	replLastTick atomic.Uint64
+
+	// ckptGen caches the newest durable checkpoint generation — written
+	// by this tenant's own saves, so verified by construction — for the
+	// ping identity reply, which must stay queue-free and cheap.
+	ckptGen atomic.Uint64
 
 	recoveredTick uint64
 	recoveredPath string
@@ -151,6 +177,11 @@ func newTenant(tc TenantConfig, opts Options) (*tenant, error) {
 			return nil, fmt.Errorf("server: tenant %s: %w", tc.Name, err)
 		}
 		t.det = d
+	}
+	if t.keeper != nil {
+		if info, err := t.keeper.Info(); err == nil && info.Verified {
+			t.ckptGen.Store(info.LatestSeq)
+		}
 	}
 	t.lastCkpt = time.Now()
 	t.publish()
@@ -251,9 +282,11 @@ func (t *tenant) handle(req *request) {
 			req.resp <- response{code: CodeInternal, msg: err.Error()}
 			return
 		}
-		req.resp <- response{snap: buf.Bytes()}
+		req.resp <- response{snap: buf.Bytes(), t0: t.det.Tick()}
 	case reqRestore:
 		t.restore(req)
+	case reqReplicate:
+		t.replicate(req)
 	case reqCheckpoint:
 		if t.keeper == nil {
 			req.resp <- response{code: CodeBadRequest, msg: "tenant has no checkpoint directory"}
@@ -324,6 +357,71 @@ func (t *tenant) restore(req *request) {
 	req.resp <- response{}
 }
 
+// replicate applies one shipped snapshot generation — the standby's
+// receiving half of warm-standby replication. The snapshot's framing
+// and section CRCs are verified before anything is touched, then the
+// generation is checked against the last one accepted from the same
+// primary incarnation: a regressing sequence number or tick is the
+// divergence signal and is refused with CodeStale, leaving the current
+// state live. A new incarnation (failover or primary restart) resets
+// the baseline and is followed wholesale, even backwards — the serving
+// primary is authoritative. Accepted generations ride the restore
+// path, so they are immediately checkpointed when the standby has a
+// keeper: a standby crash recovers warm.
+func (t *tenant) replicate(req *request) {
+	if err := snapshot.Verify(bytes.NewReader(req.snap)); err != nil {
+		t.replCorrupt.Add(1)
+		req.resp <- response{code: CodeBadRequest, msg: fmt.Sprintf("replicated snapshot failed verification: %v", err)}
+		return
+	}
+	if req.replID == t.replID && t.replID != "" {
+		if req.replSeq <= t.replSeq {
+			t.replStale.Add(1)
+			req.resp <- response{code: CodeStale, msg: fmt.Sprintf("generation %d regresses held %d", req.replSeq, t.replSeq)}
+			return
+		}
+		if req.replTick < t.replTick {
+			t.replStale.Add(1)
+			req.resp <- response{code: CodeStale, msg: fmt.Sprintf("tick %d regresses held %d", req.replTick, t.replTick)}
+			return
+		}
+	}
+	d, err := stream.Restore(bytes.NewReader(req.snap), t.cfg)
+	if err != nil {
+		code := uint8(CodeBadRequest)
+		if errors.Is(err, stream.ErrConfigMismatch) {
+			code = CodeConflict
+		}
+		req.resp <- response{code: code, msg: err.Error()}
+		return
+	}
+	if d.Tick() != req.replTick {
+		// The shipped header lied about the state it carries — refuse
+		// rather than track a tick the detector does not hold.
+		d.Close()
+		req.resp <- response{code: CodeBadRequest, msg: fmt.Sprintf("snapshot tick %d does not match declared %d", d.Tick(), req.replTick)}
+		return
+	}
+	t.det.Close()
+	t.det = d
+	t.replID = req.replID
+	t.replSeq = req.replSeq
+	t.replTick = req.replTick
+	id := req.replID
+	t.replLastID.Store(&id)
+	t.replLastSeq.Store(req.replSeq)
+	t.replLastTick.Store(req.replTick)
+	t.replAccepted.Add(1)
+	t.sinceCkpt = 0
+	if t.keeper != nil {
+		if _, err := t.checkpoint(); err != nil {
+			t.sinceCkpt = 1
+		}
+	}
+	t.publish()
+	req.resp <- response{}
+}
+
 // maybeCheckpoint saves a generation when either cadence — points
 // ingested or wall time since the last save — has come due. A failed
 // save is recorded and serving continues: the previous generations
@@ -357,6 +455,9 @@ func (t *tenant) checkpoint() (string, error) {
 		msg := err.Error()
 		t.lastCkptErr.Store(&msg)
 		return "", err
+	}
+	if seq, ok := t.keeper.NewestSeq(); ok {
+		t.ckptGen.Store(seq)
 	}
 	t.sinceCkpt = 0
 	t.lastCkpt = time.Now()
@@ -414,6 +515,18 @@ type TenantStatus struct {
 	// Zero/empty when the tenant started fresh.
 	RecoveredTick uint64
 	RecoveredPath string
+	// ReplAccepted, ReplStale and ReplCorrupt count replication pushes
+	// received as a standby: applied, refused for regressing a held
+	// generation, refused for failing integrity verification.
+	ReplAccepted uint64
+	ReplStale    uint64
+	ReplCorrupt  uint64
+	// ReplPrimary, ReplSeq and ReplTick describe the last accepted
+	// replication generation: the shipping primary's incarnation, its
+	// sequence number, and the detector tick it carried.
+	ReplPrimary string
+	ReplSeq     uint64
+	ReplTick    uint64
 	// Checkpoint is the keeper's newest-generation metadata (zero when
 	// the tenant runs without durability).
 	Checkpoint snapshot.Info
@@ -437,6 +550,14 @@ func (t *tenant) status() TenantStatus {
 		CheckpointFailures: t.ckptFails.Load(),
 		RecoveredTick:      t.recoveredTick,
 		RecoveredPath:      t.recoveredPath,
+		ReplAccepted:       t.replAccepted.Load(),
+		ReplStale:          t.replStale.Load(),
+		ReplCorrupt:        t.replCorrupt.Load(),
+		ReplSeq:            t.replLastSeq.Load(),
+		ReplTick:           t.replLastTick.Load(),
+	}
+	if id := t.replLastID.Load(); id != nil {
+		ts.ReplPrimary = *id
 	}
 	if msg := t.lastCkptErr.Load(); msg != nil {
 		ts.LastCheckpointError = *msg

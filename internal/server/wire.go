@@ -51,7 +51,9 @@ const (
 	msgSnapshot   uint8 = 0x03 // migrate out: stream the tenant's snapshot
 	msgRestore    uint8 = 0x04 // migrate in: replace tenant state from a snapshot
 	msgCheckpoint uint8 = 0x05 // force a durable checkpoint now
-	msgPing       uint8 = 0x06
+	msgPing       uint8 = 0x06 // heartbeat; the reply carries server identity/role
+	msgReplicate  uint8 = 0x07 // primary → standby: ship one snapshot generation
+	msgPromote    uint8 = 0x08 // flip a standby to primary (idempotent on a primary)
 )
 
 // Response message types.
@@ -65,8 +67,11 @@ const (
 
 // Wire error codes: the retry contract a client programs against.
 // Shed and Deadline are retryable (nothing was applied); Draining
-// means retry against another replica; BadRequest, UnknownTenant and
-// Conflict are caller bugs; Internal is a contained server fault.
+// means retry against another replica; NotPrimary means fail over to
+// the replica currently holding the primary role; BadRequest,
+// UnknownTenant and Conflict are caller bugs; Stale and NotStandby are
+// the replication layer's divergence/mis-wiring refusals; Internal is
+// a contained server fault.
 const (
 	CodeBadRequest    uint8 = 1
 	CodeUnknownTenant uint8 = 2
@@ -75,6 +80,9 @@ const (
 	CodeDraining      uint8 = 5
 	CodeInternal      uint8 = 6
 	CodeConflict      uint8 = 7
+	CodeNotPrimary    uint8 = 8
+	CodeNotStandby    uint8 = 9
+	CodeStale         uint8 = 10
 )
 
 // Typed client-side errors, one per wire code a caller branches on.
@@ -97,9 +105,25 @@ var (
 	// ErrConflict marks a restore whose snapshot does not match the
 	// tenant's configuration.
 	ErrConflict = errors.New("server: snapshot/config conflict")
+	// ErrNotPrimary marks an ingest refused because the server holds
+	// the standby role. Nothing was applied; fail over to the primary.
+	ErrNotPrimary = errors.New("server: standby does not serve ingest")
+	// ErrNotStandby marks a replication push refused because the target
+	// holds the primary role — shipping into a primary is mis-wiring
+	// (or split brain), never applied.
+	ErrNotStandby = errors.New("server: primary does not accept replication")
+	// ErrStaleGeneration marks a replication push whose generation
+	// regresses one the standby already holds from the same primary
+	// incarnation — the divergence signal. Nothing was applied.
+	ErrStaleGeneration = errors.New("server: stale replication generation")
 	// ErrInternal marks a contained server-side fault (e.g. a panic
 	// caught by the connection or worker containment).
 	ErrInternal = errors.New("server: internal error")
+	// ErrTimeout marks a client-side I/O deadline expiring — dialing,
+	// writing the request, or waiting for the reply. The connection is
+	// closed; whether the request was applied is unknown unless it was
+	// never written.
+	ErrTimeout = errors.New("server: i/o timeout")
 )
 
 // codeErr maps a wire code to its typed error.
@@ -118,6 +142,12 @@ func codeErr(code uint8, msg string) error {
 		base = ErrDraining
 	case CodeConflict:
 		base = ErrConflict
+	case CodeNotPrimary:
+		base = ErrNotPrimary
+	case CodeNotStandby:
+		base = ErrNotStandby
+	case CodeStale:
+		base = ErrStaleGeneration
 	default:
 		base = ErrInternal
 	}
