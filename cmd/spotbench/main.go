@@ -9,10 +9,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"os/exec"
 	"runtime"
@@ -22,6 +24,8 @@ import (
 	"time"
 
 	"spot/internal/bench"
+	"spot/internal/replica"
+	"spot/internal/server"
 	"spot/internal/sst"
 	"spot/internal/stream"
 )
@@ -148,6 +152,7 @@ type report struct {
 	Supervised    *supervisedResult    `json:"supervised"`
 	Checkpoint    *checkpointResult    `json:"checkpoint"`
 	AutoThreshold *autoThresholdResult `json:"auto_threshold"`
+	ServingPath   *servingPathResult   `json:"serving_path"`
 }
 
 // run measures throughput for one scenario: a (dims, shards) grid point
@@ -856,6 +861,212 @@ func runCheckpoint(dur time.Duration, batch int) (*checkpointResult, error) {
 	}, nil
 }
 
+// servingPathResult reports the serving-path comparison: the identical
+// d=20 batched stream driven through the library detector directly,
+// through an in-process spotd server over a real loopback TCP
+// connection (one synchronous Ingest round-trip per batch), and
+// through that same server while a warm standby receives snapshot
+// generations from the replication shipper. The two ratios are the
+// artifact's record of what the wire costs and what replication costs
+// on top of it; the shipped-generation counters prove the standby leg
+// actually replicated during the timed window rather than measuring an
+// idle shipper.
+type servingPathResult struct {
+	Dims                int     `json:"dims"`
+	Shards              int     `json:"shards"`
+	Batch               int     `json:"batch"`
+	ReplIntervalMillis  int64   `json:"replicate_interval_millis"`
+	LibraryPointsPerSec float64 `json:"library_points_per_sec"`
+	DaemonPointsPerSec  float64 `json:"daemon_points_per_sec"`
+	StandbyPointsPerSec float64 `json:"daemon_standby_points_per_sec"`
+	DaemonOverLibrary   float64 `json:"daemon_over_library"`
+	StandbyOverDaemon   float64 `json:"standby_over_daemon"`
+	GenerationsShipped  uint64  `json:"generations_shipped"`
+	ReplicationBytes    uint64  `json:"replication_bytes_shipped"`
+	StandbyTicksBehind  uint64  `json:"standby_ticks_behind_at_end"`
+}
+
+// servingTenant is the tenant name every serving-path leg ingests into.
+const servingTenant = "bench"
+
+// runServingPath measures the three serving-path legs on the same
+// clustered stream and batch pool as the grid points. Each leg warms
+// the detector with the pool before timing; the daemon legs speak the
+// real wire protocol over loopback TCP, so the measured gap includes
+// encoding, the syscall path and the tenant worker handoff.
+func runServingPath(dur time.Duration, batch int) (*servingPathResult, []result, error) {
+	const (
+		d            = 20
+		shards       = 4
+		replInterval = 100 * time.Millisecond
+	)
+	cfg := stream.DefaultConfig(d)
+	cfg.MaxSubspaceDim = bench.MaxDimFor(d)
+	cfg.Shards = shards
+	// Same recycled-pool caveat as run(): the pool makes every cell look
+	// perpetually fresh, so the populated-RD test would flag wholesale.
+	cfg.RDPopulatedThreshold = 0
+
+	gcfg := bench.DefaultGenConfig(d)
+	gen := bench.NewGenerator(gcfg)
+	const pool = 4
+	flats := make([][]float64, pool)
+	labels := make([]bool, batch)
+	for i := range flats {
+		flats[i] = make([]float64, batch*d)
+		gen.Fill(flats[i], labels, batch)
+	}
+
+	// measure warms with one pass over the pool, then drives batches
+	// until the duration elapses and returns points/sec.
+	measure := func(ingest func(flat []float64) error) (float64, int, error) {
+		for _, flat := range flats {
+			if err := ingest(flat); err != nil {
+				return 0, 0, err
+			}
+		}
+		points := 0
+		start := time.Now()
+		for i := 0; time.Since(start) < dur; i++ {
+			if err := ingest(flats[i%pool]); err != nil {
+				return 0, 0, err
+			}
+			points += batch
+		}
+		return float64(points) / time.Since(start).Seconds(), points, nil
+	}
+
+	// startServer serves one in-process spotd on loopback; the returned
+	// stop drains it.
+	startServer := func(opts server.Options) (*server.Server, string, func(), error) {
+		s, err := server.New(opts, []server.TenantConfig{{Name: servingTenant, Stream: cfg}})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, "", nil, err
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- s.Serve(ln) }()
+		stop := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+			<-serveDone
+		}
+		return s, ln.Addr().String(), stop, nil
+	}
+
+	// Leg 1: the library path, no wire.
+	det, err := stream.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]bool, batch)
+	libPts, libPoints, err := measure(func(flat []float64) error {
+		det.ProcessBatch(flat, out)
+		return nil
+	})
+	det.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Leg 2: the daemon path — one synchronous Ingest per batch over
+	// loopback TCP.
+	ingestLeg := func(addr string) (float64, int, error) {
+		c, err := server.Dial(addr)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer c.Close()
+		return measure(func(flat []float64) error {
+			_, err := c.Ingest(servingTenant, flat, batch, server.IngestOptions{})
+			return err
+		})
+	}
+	_, priAddr, priStop, err := startServer(server.Options{ID: "bench-pri"})
+	if err != nil {
+		return nil, nil, err
+	}
+	daemonPts, daemonPoints, err := ingestLeg(priAddr)
+	priStop()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Leg 3: the daemon path again, with a warm standby receiving
+	// snapshot generations while the timed window runs.
+	sby, sbyAddr, sbyStop, err := startServer(server.Options{ID: "bench-sby", Role: server.RoleStandby})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sbyStop()
+	pri2, pri2Addr, pri2Stop, err := startServer(server.Options{ID: "bench-pri2"})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pri2Stop()
+	shipper, err := replica.NewShipper(replica.ShipperConfig{
+		Server:   pri2,
+		Targets:  []string{sbyAddr},
+		Interval: replInterval,
+		ID:       "bench-pri2",
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	standbyPts, standbyPoints, err := ingestLeg(pri2Addr)
+	if err != nil {
+		shipper.Stop()
+		return nil, nil, err
+	}
+	// One final pass so the counters cover the last cut generation,
+	// then freeze them before shutdown.
+	time.Sleep(2 * replInterval)
+	shipper.Stop()
+	var gens, bytesShipped uint64
+	for _, tgt := range shipper.Status().Targets {
+		gens += tgt.GensShipped
+		bytesShipped += tgt.BytesShipped
+	}
+	priTS, _ := pri2.Tenant(servingTenant)
+	sbyTS, _ := sby.Tenant(servingTenant)
+	var behind uint64
+	if priTS.Tick > sbyTS.Tick {
+		behind = priTS.Tick - sbyTS.Tick
+	}
+
+	mkRow := func(name string, pts float64, points int) result {
+		return result{
+			Name: name, Dims: d, Shards: shards, MaxDim: cfg.MaxSubspaceDim,
+			Phi: cfg.Phi, Batch: batch, Points: points,
+			Seconds: float64(points) / pts, PointsPerSec: pts,
+			NsPerPoint: 1e9 / pts,
+		}
+	}
+	rows := []result{
+		mkRow("serving/library", libPts, libPoints),
+		mkRow("serving/daemon", daemonPts, daemonPoints),
+		mkRow("serving/daemon+standby", standbyPts, standbyPoints),
+	}
+	return &servingPathResult{
+		Dims:                d,
+		Shards:              shards,
+		Batch:               batch,
+		ReplIntervalMillis:  replInterval.Milliseconds(),
+		LibraryPointsPerSec: libPts,
+		DaemonPointsPerSec:  daemonPts,
+		StandbyPointsPerSec: standbyPts,
+		DaemonOverLibrary:   daemonPts / libPts,
+		StandbyOverDaemon:   standbyPts / daemonPts,
+		GenerationsShipped:  gens,
+		ReplicationBytes:    bytesShipped,
+		StandbyTicksBehind:  behind,
+	}, rows, nil
+}
+
 // autoThresholdLeg is one detector configuration driven through the
 // calibration stream: an auto-thresholded leg targeting per-point risk
 // q, or the fixed-threshold control whose flagged rate simply follows
@@ -1115,6 +1326,15 @@ func main() {
 	rep.Checkpoint = ck
 	fmt.Printf("checkpoint d=%d/shards=%d: %d bytes (%d cells), encode %.0fns decode %.0fns\n",
 		ck.Dims, ck.Shards, ck.SnapshotBytes, ck.ProjectedCells, ck.EncodeNsPerOp, ck.DecodeNsPerOp)
+	svp, svpRows, err := runServingPath(*dur, *batch)
+	if err != nil {
+		fail(err)
+	}
+	rep.ServingPath = svp
+	rep.Benchmarks = append(rep.Benchmarks, svpRows...)
+	fmt.Printf("serving path d=%d: library %.0f, daemon %.0f (×%.2f), +standby %.0f (×%.2f, %d gens %d bytes shipped, %d ticks behind)\n",
+		svp.Dims, svp.LibraryPointsPerSec, svp.DaemonPointsPerSec, svp.DaemonOverLibrary,
+		svp.StandbyPointsPerSec, svp.StandbyOverDaemon, svp.GenerationsShipped, svp.ReplicationBytes, svp.StandbyTicksBehind)
 	at, err := runAutoThreshold()
 	if err != nil {
 		fail(err)
